@@ -1,0 +1,39 @@
+# Reproduction harness shortcuts. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all test vet bench figures report scf clean
+
+all: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the multi-minute paper-scale integration runs.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every figure/table at full scale into results/.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/tables | tee results/tables.txt
+	$(GO) run ./cmd/armci-bench | tee results/microbench.txt
+
+# Fig 11 at paper scale (slow: ~10 min/point on one core).
+scf:
+	mkdir -p results
+	$(GO) run ./cmd/scf -procs 1024,2048,4096 -iters 1 | tee results/fig11.txt
+
+# One-minute reduced-scale audit of the whole reproduction.
+report:
+	mkdir -p results
+	$(GO) run ./cmd/report | tee results/report.md
+
+clean:
+	rm -rf results

@@ -1,0 +1,93 @@
+// Command armci-bench regenerates the paper's communication figures
+// (Figs 3-9) plus the Eq 7/8 model validation and the §III.D/§III.E
+// ablations, as text tables or CSV.
+//
+// Usage:
+//
+//	armci-bench                  # every figure at default scale
+//	armci-bench -fig 3           # one figure
+//	armci-bench -fig 9 -quick    # reduced process counts
+//	armci-bench -csv             # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all",
+		"figure to regenerate: 3,4,5,6,7,8,9,eq,ctx,cons,strided,route,hw or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	quick := flag.Bool("quick", false, "reduced sizes/process counts")
+	flag.Parse()
+
+	sizes := bench.PowersOfTwo(4, 20) // 16 B .. 1 MB, the paper's range
+	iters := 20
+	fig7Procs, fig7PerNode, fig7Stride := 2048, 16, 1
+	fig9Procs := []int{2, 16, 64, 256, 1024, 4096}
+	if *quick {
+		sizes = bench.PowersOfTwo(4, 17)
+		iters = 5
+		fig7Procs, fig7PerNode, fig7Stride = 256, 16, 4
+		fig9Procs = []int{2, 16, 64, 256}
+	}
+
+	render := func(g *bench.Grid) {
+		if *csv {
+			g.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			g.Render(os.Stdout)
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("3") {
+		render(bench.Fig3(sizes, iters))
+	}
+	if want("4") {
+		render(bench.Fig4(sizes, 16))
+	}
+	if want("5") {
+		render(bench.Fig5(sizes, iters))
+	}
+	if want("6") {
+		render(bench.Fig6(sizes, 16))
+	}
+	if want("7") {
+		render(bench.Fig7(fig7Procs, fig7PerNode, 4, fig7Stride))
+	}
+	if want("8") {
+		render(bench.Fig8(bench.PowersOfTwo(8, 20), 1<<20))
+	}
+	if want("9") {
+		render(bench.Fig9(fig9Procs, 10))
+	}
+	if want("eq") {
+		render(bench.EqValidation([]int{16, 256, 4096, 65536, 1 << 20}, iters))
+	}
+	if want("ctx") {
+		render(bench.AblationContexts(100))
+	}
+	if want("cons") {
+		render(bench.AblationConsistency(100))
+	}
+	if want("strided") {
+		render(bench.AblationStridedProtocol(bench.PowersOfTwo(5, 17), 1<<20))
+	}
+	if want("route") {
+		render(bench.AblationRouting(32, 64))
+	}
+	if want("hw") {
+		counts := []int{2, 8, 32, 128}
+		if !*quick {
+			counts = append(counts, 512)
+		}
+		render(bench.AblationHardwareAMO(counts, 10))
+	}
+}

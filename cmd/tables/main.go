@@ -1,0 +1,31 @@
+// Command tables regenerates Table II (the empirical PAMI time/space
+// attribute values) and prints the partition geometry used by each
+// experiment scale (the Eq 10 factorization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/topology"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	g := bench.TableII()
+	if *csv {
+		g.RenderCSV(os.Stdout)
+	} else {
+		g.Render(os.Stdout)
+	}
+
+	fmt.Println("== partition factorizations (ABCDE x T) ==")
+	for _, p := range []int{2, 64, 256, 1024, 2048, 4096} {
+		tor := topology.ForProcs(p, 16)
+		fmt.Printf("%5d procs: %v  (max %d hops)\n", p, tor, tor.MaxHops())
+	}
+}

@@ -1,0 +1,360 @@
+// Package armci implements the paper's contribution: a scalable ARMCI
+// (Aggregate Remote Memory Copy Interface) communication subsystem for
+// Blue Gene/Q over PAMI. It provides:
+//
+//   - contiguous get/put/accumulate with an RDMA fast path and an
+//     active-message fallback when memory regions are unavailable (§III.C.1);
+//   - uniformly non-contiguous (strided) transfers as lists of
+//     non-blocking RDMA chunks, with a typed/packed path for tall-skinny
+//     patches (§III.C.2);
+//   - atomic read-modify-write (load-balance counters) accelerated by an
+//     asynchronous progress thread, since BG/Q's network has no generic
+//     atomics (§III.D);
+//   - location consistency with per-memory-region conflict tracking to
+//     avoid false-positive fences (§III.E);
+//   - endpoint caching and an LFU remote memory-region cache (§III.B).
+package armci
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/pami"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// ConsistencyMode selects how conflicting memory accesses are tracked.
+type ConsistencyMode int
+
+const (
+	// ConsistencyPerRegion keys outstanding-write status on the remote
+	// memory region (cs_mr, an 8-bit status per region per target), so
+	// reads of one distributed structure never fence writes to another.
+	// This is the paper's proposed design and the default.
+	ConsistencyPerRegion ConsistencyMode = iota
+	// ConsistencyNaive keys the status on the target process alone
+	// (cs_tgt): any outstanding write to a process fences every read from
+	// it, producing the false positives §III.E describes.
+	ConsistencyNaive
+)
+
+// Config describes one simulated job.
+type Config struct {
+	// Procs is the number of ARMCI processes (ranks).
+	Procs int
+	// ProcsPerNode is c, the ranks placed per node (BG/Q default 16).
+	ProcsPerNode int
+	// Contexts is ρ, the PAMI contexts per process (1 or 2). Zero picks
+	// the mode default: 2 with the async thread, 1 without.
+	Contexts int
+	// AsyncThread enables the asynchronous progress thread (the paper's
+	// "AT" configuration; false is the "D"/default configuration).
+	AsyncThread bool
+	// Consistency selects conflict tracking (default per-region).
+	Consistency ConsistencyMode
+	// RegionCacheCap bounds the remote memory-region cache (LFU beyond
+	// it). Zero picks 4096 entries (32 KB of γ=8 B descriptors — small
+	// enough for BG/Q, large enough that only first-touch misses occur
+	// for typical σ·ζ working sets).
+	RegionCacheCap int
+	// MaxRegions bounds per-process region registrations; 0 is unlimited
+	// and a negative value forbids registration entirely. Low values
+	// force the fallback protocols.
+	MaxRegions int
+	// TypedThreshold is the contiguous-chunk size below which strided
+	// transfers switch from chunk-listing RDMA to the typed/packed path.
+	// §III.C.2 argues chunk-listing RDMA for everything except genuinely
+	// tall-skinny patches, so the default is a conservative 32 bytes.
+	TypedThreshold int
+	// Params overrides the machine model (nil uses the calibrated BG/Q).
+	Params *network.Params
+	// Seed perturbs the deterministic jitter streams.
+	Seed uint64
+	// Trace, when non-nil, records protocol decisions (path taken,
+	// fences, AMOs) into the ring recorder for post-run inspection.
+	Trace *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		panic("armci: Config.Procs must be positive")
+	}
+	if c.ProcsPerNode == 0 {
+		c.ProcsPerNode = 16
+	}
+	if c.Contexts == 0 {
+		if c.AsyncThread {
+			c.Contexts = 2
+		} else {
+			c.Contexts = 1
+		}
+	}
+	if c.RegionCacheCap == 0 {
+		c.RegionCacheCap = 4096
+	}
+	if c.TypedThreshold == 0 {
+		c.TypedThreshold = 32
+	}
+	if c.Params == nil {
+		c.Params = network.DefaultParams()
+	}
+	if c.Params.AdaptiveRouting {
+		// The fence protocol chases prior traffic with an ordered control
+		// message, which only works under deterministic routing's
+		// per-pair FIFO (the paper's footnote 1).
+		panic("armci: AdaptiveRouting breaks fence ordering; network-layer studies only")
+	}
+	return c
+}
+
+// World is one simulated job: the machine plus every rank's runtime.
+type World struct {
+	K   *sim.Kernel
+	M   *pami.Machine
+	Cfg Config
+
+	Runtimes []*Runtime
+	svcIdx   int // context index remote-service AMs are addressed to
+
+	// collective state
+	barCount int
+	barGen   uint64
+	xchAddr  []mem.Addr
+	xchReg   []bool
+	xchF64   []float64
+	done     int
+}
+
+// NewWorld builds the machine and empty runtime slots. Runtimes come to
+// life in Start.
+func NewWorld(k *sim.Kernel, cfg Config) *World {
+	cfg = cfg.withDefaults()
+	tor := topology.ForProcs(cfg.Procs, cfg.ProcsPerNode)
+	m := pami.NewMachine(k, tor, cfg.Params)
+	m.SeedBase = cfg.Seed
+	svcIdx := 0
+	if cfg.AsyncThread {
+		svcIdx = cfg.Contexts - 1
+	}
+	return &World{
+		K:        k,
+		M:        m,
+		Cfg:      cfg,
+		Runtimes: make([]*Runtime, cfg.Procs),
+		svcIdx:   svcIdx,
+		xchAddr:  make([]mem.Addr, cfg.Procs),
+		xchReg:   make([]bool, cfg.Procs),
+		xchF64:   make([]float64, cfg.Procs),
+	}
+}
+
+// Start spawns one main thread per rank. Each creates its PAMI state,
+// synchronizes, runs body, then participates in a collective finalize.
+func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
+	for rank := 0; rank < w.Cfg.Procs; rank++ {
+		rank := rank
+		w.K.Spawn(fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
+			rt := newRuntime(w, th, rank)
+			w.Runtimes[rank] = rt
+			rt.Barrier(th) // all clients exist before any traffic
+			body(th, rt)
+			rt.finalize(th)
+		})
+	}
+}
+
+// Run builds a world, runs body on every rank, and drives the simulation
+// to completion.
+func Run(cfg Config, body func(th *sim.Thread, rt *Runtime)) (*World, error) {
+	k := sim.NewKernel()
+	w := NewWorld(k, cfg)
+	w.Start(body)
+	return w, k.Run()
+}
+
+// MustRun is Run that fails loudly; experiment harnesses use it.
+func MustRun(cfg Config, body func(th *sim.Thread, rt *Runtime)) *World {
+	w, err := Run(cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// AggregateStats sums every rank's protocol counters; experiment
+// harnesses report these next to the timing results.
+func (w *World) AggregateStats() map[string]int64 {
+	total := make(map[string]int64)
+	for _, rt := range w.Runtimes {
+		if rt == nil {
+			continue
+		}
+		for k, v := range rt.Stats.Snapshot() {
+			total[k] += v
+		}
+	}
+	return total
+}
+
+// rankState is per-target bookkeeping for fences.
+type rankState struct {
+	unflushedPuts int // RDMA puts not yet known remote-visible
+	unackedAMs    int // AM writes (fallback put, acc) awaiting ack
+}
+
+// Runtime is one rank's ARMCI runtime: the public API surface of this
+// package. All methods must be called from that rank's own threads.
+type Runtime struct {
+	W    *World
+	Rank int
+	C    *pami.Client
+
+	mainCtx *pami.Context
+	svcCtx  *pami.Context
+
+	eps     map[int]pami.Endpoint // data endpoints (context 0)
+	svcEps  map[int]pami.Endpoint // service endpoints (svc context)
+	regions *regionCache
+	cons    *consistency
+	ranks   []rankState
+	allocs  []*Allocation
+
+	pendSeq  int64
+	pend     map[int64]*pendReq
+	implicit []*sim.Completion
+
+	mutexes map[int]*muState
+
+	// Stats exposes protocol counters: get.rdma, get.fallback, put.rdma,
+	// put.am, acc, rmw, fence, conflict.avoided, regioncache.{hit,miss,
+	// evict}, strided.{chunks,typed}, ...
+	Stats *sim.Counters
+
+	progress *sim.Thread
+	rng      *sim.RNG
+}
+
+func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
+	c := w.M.NewClient(th, rank)
+	c.MaxRegions = w.Cfg.MaxRegions
+	c.CreateContexts(th, w.Cfg.Contexts)
+
+	rt := &Runtime{
+		W:       w,
+		Rank:    rank,
+		C:       c,
+		mainCtx: c.Contexts[0],
+		svcCtx:  c.Contexts[w.svcIdx],
+		eps:     make(map[int]pami.Endpoint),
+		svcEps:  make(map[int]pami.Endpoint),
+		regions: newRegionCache(w.Cfg.RegionCacheCap),
+		ranks:   make([]rankState, w.Cfg.Procs),
+		pend:    make(map[int64]*pendReq),
+		mutexes: make(map[int]*muState),
+		Stats:   sim.NewCounters(),
+		rng:     sim.NewRNG(w.Cfg.Seed ^ (uint64(rank)*0x5851f42d + 7)),
+	}
+	rt.cons = newConsistency(rt, w.Cfg.Consistency)
+	rt.installHandlers()
+
+	if w.Cfg.AsyncThread {
+		svc := rt.svcCtx
+		rt.progress = w.K.Spawn(fmt.Sprintf("async-%04d", rank), func(pt *sim.Thread) {
+			svc.ProgressLoop(pt)
+		})
+	}
+	return rt
+}
+
+// Procs returns the job size.
+func (rt *Runtime) Procs() int { return rt.W.Cfg.Procs }
+
+// Space returns this rank's address space (for building local buffers).
+func (rt *Runtime) Space() *mem.Space { return rt.C.Space }
+
+// LocalAlloc allocates and eagerly registers a local communication buffer
+// (one of the paper's τ local buffers). Registration failure is fine: the
+// fallback protocols cover unregistered memory.
+func (rt *Runtime) LocalAlloc(th *sim.Thread, n int) mem.Addr {
+	a := rt.C.Space.Alloc(n)
+	rt.C.RegisterMemory(th, a, n)
+	return a
+}
+
+// epData returns (creating and caching on first use) the RDMA endpoint
+// for a rank. The cache is the paper's ζ-sized endpoint cache.
+func (rt *Runtime) epData(th *sim.Thread, rank int) pami.Endpoint {
+	ep, ok := rt.eps[rank]
+	if !ok {
+		ep = rt.C.CreateEndpoint(th, rank, 0)
+		rt.eps[rank] = ep
+		rt.Stats.Inc("ep.created", 1)
+	}
+	return ep
+}
+
+// epSvc returns the endpoint addressing a rank's remote-service context.
+func (rt *Runtime) epSvc(th *sim.Thread, rank int) pami.Endpoint {
+	ep, ok := rt.svcEps[rank]
+	if !ok {
+		ep = rt.C.CreateEndpoint(th, rank, rt.W.svcIdx)
+		rt.svcEps[rank] = ep
+		rt.Stats.Inc("ep.created", 1)
+	}
+	return ep
+}
+
+// Clique returns ζ, the number of distinct peers addressed so far.
+func (rt *Runtime) Clique() int { return len(rt.eps) + len(rt.svcEps) }
+
+// Progress makes one explicit pass over this rank's progress engine —
+// what a default-mode application does between compute phases to service
+// remote AMOs and fallback requests. With an async thread it is rarely
+// needed. Returns the number of work items served.
+func (rt *Runtime) Progress(th *sim.Thread) int {
+	n := rt.mainCtx.Progress(th)
+	if rt.svcCtx != rt.mainCtx {
+		n += rt.svcCtx.Progress(th)
+	}
+	return n
+}
+
+// jit perturbs a software cost deterministically.
+func (rt *Runtime) jit(t sim.Time) sim.Time {
+	return rt.rng.Jitter(t, rt.W.Cfg.Params.JitterFrac)
+}
+
+// tr records a protocol trace event when tracing is enabled.
+func (rt *Runtime) tr(kind trace.Kind, what string, arg int64) {
+	if rec := rt.W.Cfg.Trace; rec != nil {
+		rec.Add(rt.W.K.Now(), rt.Rank, kind, what, arg)
+	}
+}
+
+// newPend allocates a pending-request slot.
+func (rt *Runtime) newPend() (int64, *pendReq) {
+	rt.pendSeq++
+	p := &pendReq{}
+	rt.pend[rt.pendSeq] = p
+	return rt.pendSeq, p
+}
+
+// finalize drains outstanding work and synchronizes before teardown; the
+// last rank to arrive stops every progress thread.
+func (rt *Runtime) finalize(th *sim.Thread) {
+	rt.WaitAll(th)
+	rt.AllFence(th)
+	rt.Barrier(th)
+	w := rt.W
+	w.done++
+	if w.done == w.Cfg.Procs {
+		for _, r := range w.Runtimes {
+			for _, x := range r.C.Contexts {
+				x.StopProgressLoop()
+			}
+		}
+	}
+}

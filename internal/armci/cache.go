@@ -1,0 +1,133 @@
+package armci
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// remoteRegion is a cached remote memory-region descriptor (the paper's
+// γ = 8-byte metadata).
+type remoteRegion struct {
+	rank int
+	base mem.Addr
+	size int
+	freq uint64
+}
+
+// regionCache holds remote memory-region metadata for the communication
+// clique. Its capacity is bounded — caching all ζ·σ regions is
+// "prohibitive on a memory limited architecture like Blue Gene/Q" — with
+// least-frequently-used replacement, per §III.B. Misses are served by an
+// active message to the owner.
+type regionCache struct {
+	cap     int
+	byRank  map[int][]*remoteRegion
+	total   int
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64
+}
+
+func newRegionCache(capacity int) *regionCache {
+	return &regionCache{cap: capacity, byRank: make(map[int][]*remoteRegion)}
+}
+
+// lookup returns a cached region covering [addr, addr+n) at rank.
+func (rc *regionCache) lookup(rank int, addr mem.Addr, n int) (*remoteRegion, bool) {
+	for _, r := range rc.byRank[rank] {
+		if addr >= r.base && uint64(addr)+uint64(n) <= uint64(r.base)+uint64(r.size) {
+			r.freq++
+			rc.Hits++
+			return r, true
+		}
+	}
+	rc.Misses++
+	return nil, false
+}
+
+// insert adds an entry, evicting the least frequently used entry when at
+// capacity. Ties break deterministically on (rank, base).
+func (rc *regionCache) insert(rank int, base mem.Addr, size int) *remoteRegion {
+	if rc.total >= rc.cap {
+		rc.evictLFU()
+	}
+	r := &remoteRegion{rank: rank, base: base, size: size, freq: 1}
+	rc.byRank[rank] = append(rc.byRank[rank], r)
+	rc.total++
+	return r
+}
+
+func (rc *regionCache) evictLFU() {
+	var victim *remoteRegion
+	vIdx := -1
+	for _, rs := range rc.byRank {
+		for i, r := range rs {
+			if victim == nil || r.freq < victim.freq ||
+				(r.freq == victim.freq && (r.rank < victim.rank ||
+					(r.rank == victim.rank && r.base < victim.base))) {
+				victim, vIdx = r, i
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	rs := rc.byRank[victim.rank]
+	rc.byRank[victim.rank] = append(rs[:vIdx], rs[vIdx+1:]...)
+	rc.total--
+	rc.Evicted++
+}
+
+// purge drops the entry for (rank, base); used when an allocation is
+// collectively freed.
+func (rc *regionCache) purge(rank int, base mem.Addr) {
+	rs := rc.byRank[rank]
+	for i, r := range rs {
+		if r.base == base {
+			rc.byRank[rank] = append(rs[:i], rs[i+1:]...)
+			rc.total--
+			return
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (rc *regionCache) Len() int { return rc.total }
+
+// remoteRegionFor resolves RDMA metadata for [addr,addr+n) at rank: cache
+// hit, or an active-message query to the owner (which needs the owner's
+// progress engine — region misses are not free at scale). ok=false means
+// the owner has no covering registration and the caller must fall back.
+func (rt *Runtime) remoteRegionFor(th *sim.Thread, rank int, addr mem.Addr, n int) (ok bool) {
+	if _, hit := rt.regions.lookup(rank, addr, n); hit {
+		rt.Stats.Inc("regioncache.hit", 1)
+		return true
+	}
+	rt.Stats.Inc("regioncache.miss", 1)
+	id, p := rt.newPend()
+	rt.mainCtx.SendAM(th, rt.epSvc(th, rank), dRegionQ,
+		[]int64{id, int64(addr), int64(n)}, nil)
+	rt.mainCtx.WaitCond(th, func() bool { return p.done })
+	delete(rt.pend, id)
+	if !p.found {
+		rt.Stats.Inc("regioncache.unresolved", 1)
+		return false
+	}
+	before := rt.regions.Evicted
+	rt.regions.insert(rank, p.base, p.size)
+	if rt.regions.Evicted != before {
+		rt.Stats.Inc("regioncache.evict", int64(rt.regions.Evicted-before))
+	}
+	return true
+}
+
+// localRegionFor returns whether local memory [addr, addr+n) is (or can
+// lazily become) RDMA-capable. Registration is attempted once per miss;
+// failure (region budget exhausted) routes the operation to the fallback
+// protocol, as §III.C.1 prescribes.
+func (rt *Runtime) localRegionFor(th *sim.Thread, addr mem.Addr, n int) bool {
+	if rt.C.FindRegion(addr, n) != nil {
+		return true
+	}
+	return rt.C.RegisterMemory(th, addr, n) != nil
+}

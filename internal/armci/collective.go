@@ -1,0 +1,143 @@
+package armci
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// GlobalPtr names remote memory: a rank and an address in its space.
+type GlobalPtr struct {
+	Rank int
+	Addr mem.Addr
+}
+
+// Add offsets the pointer by n bytes.
+func (g GlobalPtr) Add(n int) GlobalPtr {
+	return GlobalPtr{Rank: g.Rank, Addr: g.Addr + mem.Addr(n)}
+}
+
+// String renders the pointer for diagnostics.
+func (g GlobalPtr) String() string {
+	return fmt.Sprintf("r%d:%#x", g.Rank, uint64(g.Addr))
+}
+
+// Allocation is the result of a collective Malloc: one block of the same
+// size in every rank's space. It is one of the paper's σ "active global
+// address structures".
+type Allocation struct {
+	ID    int
+	Bytes int
+	Ptrs  []GlobalPtr
+}
+
+// At returns the block on the given rank.
+func (a *Allocation) At(rank int) GlobalPtr { return a.Ptrs[rank] }
+
+// Barrier synchronizes all ranks. Unlike a plain barrier, the waiting
+// thread keeps driving its progress engine, so remote requests are still
+// serviced while blocked — exactly what ARMCI_Barrier does and what the
+// default-mode NWChem runs rely on.
+func (rt *Runtime) Barrier(th *sim.Thread) {
+	w := rt.W
+	if w.Cfg.Params.BarrierLatency > 0 {
+		th.Sleep(w.Cfg.Params.BarrierLatency)
+	}
+	gen := w.barGen
+	w.barCount++
+	if w.barCount == w.Cfg.Procs {
+		w.barCount = 0
+		w.barGen++
+		// Nudge every rank's contexts so parked waiters re-check.
+		for _, r := range w.Runtimes {
+			if r == nil {
+				continue
+			}
+			for _, x := range r.C.Contexts {
+				x.Nudge()
+			}
+		}
+		return
+	}
+	rt.mainCtx.WaitCond(th, func() bool { return w.barGen != gen })
+}
+
+// Malloc collectively allocates bytes on every rank, registers the block
+// for RDMA (registration may fail under MaxRegions — the fallback
+// protocols then carry the traffic), and returns the address vector. The
+// region metadata rides the collective exchange, pre-populating every
+// rank's region cache — this is the σ·ζ·γ term of the paper's M_r space
+// model (Eq. 5); under a tight RegionCacheCap the LFU policy evicts and
+// the AM miss protocol takes over. All ranks must call Malloc in the
+// same order.
+func (rt *Runtime) Malloc(th *sim.Thread, bytes int) *Allocation {
+	addr := rt.C.Space.Alloc(bytes)
+	reg := rt.C.RegisterMemory(th, addr, bytes)
+	w := rt.W
+	w.xchAddr[rt.Rank] = addr
+	w.xchReg[rt.Rank] = reg != nil
+	rt.Barrier(th)
+	a := &Allocation{ID: len(rt.allocs), Bytes: bytes, Ptrs: make([]GlobalPtr, w.Cfg.Procs)}
+	for r := 0; r < w.Cfg.Procs; r++ {
+		a.Ptrs[r] = GlobalPtr{Rank: r, Addr: w.xchAddr[r]}
+		if w.xchReg[r] && r != rt.Rank {
+			rt.regions.insert(r, w.xchAddr[r], bytes)
+		}
+	}
+	rt.allocs = append(rt.allocs, a)
+	rt.Barrier(th) // protect the exchange buffer before reuse
+	rt.Stats.Inc("malloc", 1)
+	return a
+}
+
+// Free collectively releases an allocation. Every rank purges its remote
+// region cache of the freed blocks, so later allocations reusing the
+// addresses cannot hit stale RDMA metadata.
+func (rt *Runtime) Free(th *sim.Thread, a *Allocation) {
+	rt.Barrier(th) // no rank may still be using the block
+	for r, p := range a.Ptrs {
+		rt.regions.purge(r, p.Addr)
+	}
+	if reg := rt.C.FindRegion(a.Ptrs[rt.Rank].Addr, a.Bytes); reg != nil {
+		rt.C.DeregisterMemory(reg)
+	}
+	rt.C.Space.Free(a.Ptrs[rt.Rank].Addr)
+	for i, al := range rt.allocs {
+		if al == a {
+			rt.allocs = append(rt.allocs[:i], rt.allocs[i+1:]...)
+			break
+		}
+	}
+	rt.Barrier(th)
+}
+
+// AllReduceSum is a collective sum over one float64 per rank (the GA_Dgop
+// kernel NWChem uses for energies). It rides the hardware combining
+// network: two barrier traversals, no point-to-point traffic. All ranks
+// receive the identical total, summed in rank order so the result is
+// deterministic.
+func (rt *Runtime) AllReduceSum(th *sim.Thread, v float64) float64 {
+	w := rt.W
+	w.xchF64[rt.Rank] = v
+	rt.Barrier(th)
+	total := 0.0
+	for _, x := range w.xchF64 {
+		total += x
+	}
+	rt.Barrier(th) // protect the exchange buffer before reuse
+	return total
+}
+
+// allocKey maps a remote address to the allocation (distributed data
+// structure) containing it, or -1 when unknown. This is the cs_mr key of
+// §III.E: conflicts are tracked per structure, not per process.
+func (rt *Runtime) allocKey(g GlobalPtr) int {
+	for _, a := range rt.allocs {
+		p := a.Ptrs[g.Rank]
+		if g.Addr >= p.Addr && uint64(g.Addr) < uint64(p.Addr)+uint64(a.Bytes) {
+			return a.ID
+		}
+	}
+	return -1
+}

@@ -1,0 +1,104 @@
+package armci
+
+import (
+	"fmt"
+
+	"repro/internal/pami"
+	"repro/internal/sim"
+)
+
+// ARMCI global mutexes: n mutexes distributed round-robin over the ranks
+// (mutex i lives on rank i mod p). Lock/unlock are active-message
+// protocols queued and granted by the owner's progress engine, so they
+// share the fate of every non-RDMA operation: an owner that never
+// progresses starves its lock holders.
+
+// muState is owner-side state for one hosted mutex.
+type muState struct {
+	held  bool
+	queue []pami.Endpoint // reply addresses of blocked lockers
+	ids   []int64
+}
+
+// nmutexes set by CreateMutexes; guards Lock/Unlock argument checks.
+func (rt *Runtime) muOwner(idx int) int { return idx % rt.W.Cfg.Procs }
+
+// CreateMutexes collectively creates n global mutexes. Every rank must
+// call it with the same n before any Lock.
+func (rt *Runtime) CreateMutexes(th *sim.Thread, n int) {
+	for i := 0; i < n; i++ {
+		if rt.muOwner(i) == rt.Rank {
+			rt.mutexes[i] = &muState{}
+		}
+	}
+	rt.Barrier(th)
+}
+
+// DestroyMutexes collectively destroys all mutexes; none may be held.
+func (rt *Runtime) DestroyMutexes(th *sim.Thread) {
+	rt.Barrier(th)
+	for i, m := range rt.mutexes {
+		if m.held {
+			panic(fmt.Sprintf("armci: destroying held mutex %d", i))
+		}
+		delete(rt.mutexes, i)
+	}
+	rt.Barrier(th)
+}
+
+// Lock acquires global mutex idx, blocking (while driving the progress
+// engine) until the owner grants it.
+func (rt *Runtime) Lock(th *sim.Thread, idx int) {
+	id, p := rt.newPend()
+	comp := sim.NewCompletion(rt.W.K)
+	p.comp = comp
+	rt.mainCtx.SendAM(th, rt.epSvc(th, rt.muOwner(idx)), dLockReq,
+		[]int64{id, int64(idx)}, nil)
+	rt.mainCtx.WaitLocal(th, comp)
+	rt.Stats.Inc("mutex.lock", 1)
+}
+
+// Unlock releases global mutex idx; the owner grants it to the oldest
+// waiter, if any.
+func (rt *Runtime) Unlock(th *sim.Thread, idx int) {
+	rt.mainCtx.SendAM(th, rt.epSvc(th, rt.muOwner(idx)), dUnlockReq,
+		[]int64{int64(idx)}, nil)
+	rt.Stats.Inc("mutex.unlock", 1)
+}
+
+func (rt *Runtime) handleLockReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, idx := msg.Hdr[0], int(msg.Hdr[1])
+	m, ok := rt.mutexes[idx]
+	if !ok {
+		panic(fmt.Sprintf("armci: rank %d does not own mutex %d", rt.Rank, idx))
+	}
+	if !m.held {
+		m.held = true
+		x.SendAM(th, msg.Src, dLockRep, []int64{id}, nil)
+		return
+	}
+	m.queue = append(m.queue, msg.Src)
+	m.ids = append(m.ids, id)
+}
+
+func (rt *Runtime) handleLockRep(_ *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
+	id := msg.Hdr[0]
+	p := rt.pend[id]
+	delete(rt.pend, id)
+	p.comp.Finish()
+}
+
+func (rt *Runtime) handleUnlockReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	idx := int(msg.Hdr[0])
+	m := rt.mutexes[idx]
+	if !m.held {
+		panic(fmt.Sprintf("armci: unlock of free mutex %d", idx))
+	}
+	if len(m.queue) == 0 {
+		m.held = false
+		return
+	}
+	next, id := m.queue[0], m.ids[0]
+	m.queue, m.ids = m.queue[1:], m.ids[1:]
+	x.SendAM(th, next, dLockRep, []int64{id}, nil)
+}

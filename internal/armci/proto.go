@@ -1,0 +1,148 @@
+package armci
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/pami"
+	"repro/internal/sim"
+)
+
+// ARMCI dispatch ids on top of PAMI's reserved space.
+const (
+	dRegionQ   = pami.DispatchUserBase + iota // region metadata query
+	dRegionR                                  // region metadata reply
+	dGetReq                                   // fallback contiguous get
+	dGetRep                                   // fallback get data reply
+	dPutReq                                   // fallback contiguous put
+	dAck                                      // write acknowledgement
+	dAccReq                                   // contiguous accumulate
+	dPutSReq                                  // typed (packed) strided put
+	dGetSReq                                  // typed strided get request
+	dGetSRep                                  // typed strided get reply
+	dAccSReq                                  // strided accumulate
+	dLockReq                                  // mutex lock request
+	dLockRep                                  // mutex grant
+	dUnlockReq                                // mutex unlock
+)
+
+// pendReq is the initiator-side state of an in-flight AM protocol.
+type pendReq struct {
+	comp      *sim.Completion
+	localAddr mem.Addr
+	// strided reply layout
+	strides []int
+	counts  []int
+	// region query result
+	done  bool
+	found bool
+	base  mem.Addr
+	size  int
+}
+
+// installHandlers registers the ARMCI protocol handlers on every context
+// of this rank (requests arrive on the service context, replies on the
+// issuing context; registering everywhere keeps addressing simple).
+func (rt *Runtime) installHandlers() {
+	for _, x := range rt.C.Contexts {
+		x.SetDispatch(dRegionQ, rt.handleRegionQ)
+		x.SetDispatch(dRegionR, rt.handleRegionR)
+		x.SetDispatch(dGetReq, rt.handleGetReq)
+		x.SetDispatch(dGetRep, rt.handleGetRep)
+		x.SetDispatch(dPutReq, rt.handlePutReq)
+		x.SetDispatch(dAck, rt.handleAck)
+		x.SetDispatch(dAccReq, rt.handleAccReq)
+		x.SetDispatch(dPutSReq, rt.handlePutSReq)
+		x.SetDispatch(dGetSReq, rt.handleGetSReq)
+		x.SetDispatch(dGetSRep, rt.handleGetSRep)
+		x.SetDispatch(dAccSReq, rt.handleAccSReq)
+		x.SetDispatch(dLockReq, rt.handleLockReq)
+		x.SetDispatch(dLockRep, rt.handleLockRep)
+		x.SetDispatch(dUnlockReq, rt.handleUnlockReq)
+	}
+}
+
+// copyCost charges the servicing thread for a memory copy of n bytes.
+func (rt *Runtime) copyCost(th *sim.Thread, n int) {
+	t := sim.Time(rt.W.Cfg.Params.PackByteCost * float64(n))
+	if t > 0 {
+		th.Sleep(t)
+	}
+}
+
+// --- region metadata protocol (§III.B cache-miss path) ---
+
+func (rt *Runtime) handleRegionQ(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr, n := msg.Hdr[0], mem.Addr(msg.Hdr[1]), int(msg.Hdr[2])
+	found, base, size := int64(0), int64(0), int64(0)
+	if r := rt.C.FindRegion(addr, n); r != nil {
+		found, base, size = 1, int64(r.Base), int64(r.Size)
+	}
+	x.SendAM(th, msg.Src, dRegionR, []int64{id, found, base, size}, nil)
+}
+
+func (rt *Runtime) handleRegionR(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
+	p := rt.pend[msg.Hdr[0]]
+	p.found = msg.Hdr[1] != 0
+	p.base = mem.Addr(msg.Hdr[2])
+	p.size = int(msg.Hdr[3])
+	p.done = true
+}
+
+// --- fallback contiguous get/put (§III.C.1) ---
+
+func (rt *Runtime) handleGetReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr, n := msg.Hdr[0], mem.Addr(msg.Hdr[1]), int(msg.Hdr[2])
+	// Zero-copy reply: the data streams straight from the ARMCI heap, so
+	// the remote overhead is the constant o of Eq. 8 (handler dispatch +
+	// reply injection), not a per-byte copy.
+	data := make([]byte, n)
+	rt.C.Space.CopyOut(addr, data)
+	x.SendAM(th, msg.Src, dGetRep, []int64{id}, data)
+}
+
+func (rt *Runtime) handleGetRep(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
+	id := msg.Hdr[0]
+	p := rt.pend[id]
+	rt.C.Space.CopyIn(p.localAddr, msg.Data)
+	delete(rt.pend, id)
+	p.comp.Finish()
+}
+
+func (rt *Runtime) handlePutReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
+	rt.copyCost(th, len(msg.Data))
+	rt.C.Space.CopyIn(addr, msg.Data)
+	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
+}
+
+// handleAck retires a remote write acknowledgement: it releases the fence
+// accounting toward the acking rank and completes the pending handle if
+// the protocol exposed one.
+func (rt *Runtime) handleAck(_ *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
+	id := msg.Hdr[0]
+	if p, ok := rt.pend[id]; ok {
+		if p.comp != nil && !p.comp.Done() {
+			p.comp.Finish()
+		}
+		delete(rt.pend, id)
+	}
+	rt.ranks[msg.Src.Rank].unackedAMs--
+	if rt.ranks[msg.Src.Rank].unackedAMs < 0 {
+		panic("armci: ack underflow")
+	}
+}
+
+// --- accumulate (§III.D: no hardware support, target CPU applies) ---
+
+func (rt *Runtime) handleAccReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
+	scale := math.Float64frombits(uint64(msg.Hdr[2]))
+	n := len(msg.Data)
+	t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(n))
+	if t > 0 {
+		th.Sleep(t)
+	}
+	mem.AddFloat64s(rt.C.Space.Bytes(addr, n), msg.Data, scale)
+	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
+}

@@ -1,0 +1,42 @@
+package armci
+
+import (
+	"repro/internal/pami"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Read-modify-write operations target an int64 in remote memory. On BG/Q
+// these have no network-hardware support, so every call is an
+// active-message round trip serviced by the target's progress engine —
+// without an asynchronous progress thread, by the target's main thread
+// whenever it happens to enter ARMCI (§III.D). These are the primitives
+// behind NWChem's load-balance counters.
+
+// rmw performs one AMO and returns the prior value.
+func (rt *Runtime) rmw(th *sim.Thread, dst GlobalPtr, op pami.RmwOp, operand, compare int64) int64 {
+	var prev int64
+	comp := sim.NewCompletion(rt.W.K)
+	rt.mainCtx.Rmw(th, rt.epSvc(th, dst.Rank), dst.Addr, op, operand, compare, &prev, comp)
+	rt.mainCtx.WaitLocal(th, comp)
+	rt.Stats.Inc("rmw", 1)
+	rt.tr(trace.AM, "rmw", int64(dst.Rank))
+	return prev
+}
+
+// FetchAdd atomically adds delta to the remote counter, returning the
+// prior value (ARMCI_Rmw ARMCI_FETCH_AND_ADD_LONG).
+func (rt *Runtime) FetchAdd(th *sim.Thread, dst GlobalPtr, delta int64) int64 {
+	return rt.rmw(th, dst, pami.FetchAdd, delta, 0)
+}
+
+// SwapLong atomically replaces the remote value, returning the prior one.
+func (rt *Runtime) SwapLong(th *sim.Thread, dst GlobalPtr, value int64) int64 {
+	return rt.rmw(th, dst, pami.Swap, value, 0)
+}
+
+// CompareSwap replaces the remote value with update only if it currently
+// equals expect; either way the prior value is returned.
+func (rt *Runtime) CompareSwap(th *sim.Thread, dst GlobalPtr, expect, update int64) int64 {
+	return rt.rmw(th, dst, pami.CompareSwap, update, expect)
+}

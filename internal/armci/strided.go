@@ -1,0 +1,339 @@
+package armci
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/pami"
+	"repro/internal/sim"
+)
+
+// Strided (uniformly non-contiguous) transfers use ARMCI's descriptor:
+// counts[0] is the contiguous chunk size in bytes (l0 in Eq. 9) and
+// counts[1..] are block repetition counts per level; strides give the
+// byte distance between consecutive blocks at each level (one entry per
+// level above the first). A 2-D patch of R rows of C bytes in a matrix
+// with leading dimension L is {counts: [C, R], strides: [L]}.
+
+// validateStrided panics on malformed descriptors: a malformed patch is
+// always a caller bug.
+func validateStrided(name string, strides []int, counts []int) {
+	if len(counts) == 0 {
+		panic("armci: " + name + ": empty counts")
+	}
+	if len(strides) != len(counts)-1 {
+		panic(fmt.Sprintf("armci: %s: %d strides for %d counts", name, len(strides), len(counts)))
+	}
+	for _, c := range counts {
+		if c <= 0 {
+			panic("armci: " + name + ": non-positive count")
+		}
+	}
+	for i, s := range strides {
+		if s < counts[0] {
+			panic(fmt.Sprintf("armci: %s: stride %d (%d) below chunk size %d",
+				name, i, s, counts[0]))
+		}
+	}
+}
+
+// numChunks returns the number of contiguous pieces the patch splits into.
+func numChunks(counts []int) int {
+	n := 1
+	for _, c := range counts[1:] {
+		n *= c
+	}
+	return n
+}
+
+// patchBytes is the total payload of the patch.
+func patchBytes(counts []int) int { return counts[0] * numChunks(counts) }
+
+// patchExtent is the distance from the patch base to one past its last
+// byte — the window a covering memory region must span.
+func patchExtent(strides []int, counts []int) int {
+	ext := counts[0]
+	for i, s := range strides {
+		ext += (counts[i+1] - 1) * s
+	}
+	return ext
+}
+
+// forEachChunk visits every chunk's (a-side, b-side) byte offsets, with
+// the first stride level varying fastest.
+func forEachChunk(counts []int, aStr, bStr []int, fn func(aOff, bOff int)) {
+	n := len(counts) - 1
+	if n == 0 {
+		fn(0, 0)
+		return
+	}
+	idx := make([]int, n)
+	for {
+		aOff, bOff := 0, 0
+		for j := 0; j < n; j++ {
+			aOff += idx[j] * aStr[j]
+			bOff += idx[j] * bStr[j]
+		}
+		fn(aOff, bOff)
+		j := 0
+		for j < n {
+			idx[j]++
+			if idx[j] < counts[j+1] {
+				break
+			}
+			idx[j] = 0
+			j++
+		}
+		if j == n {
+			return
+		}
+	}
+}
+
+// packPatch serializes a strided patch into a contiguous buffer.
+func packPatch(s *mem.Space, base mem.Addr, strides []int, counts []int) []byte {
+	out := make([]byte, 0, patchBytes(counts))
+	forEachChunk(counts, strides, strides, func(off, _ int) {
+		out = append(out, s.Bytes(base+mem.Addr(off), counts[0])...)
+	})
+	return out
+}
+
+// unpackPatch scatters a contiguous buffer into a strided patch.
+func unpackPatch(s *mem.Space, base mem.Addr, strides []int, counts []int, data []byte) {
+	pos := 0
+	forEachChunk(counts, strides, strides, func(off, _ int) {
+		s.CopyIn(base+mem.Addr(off), data[pos:pos+counts[0]])
+		pos += counts[0]
+	})
+}
+
+// stridedHdr encodes the wire metadata of a typed strided operation.
+func stridedHdr(id int64, addr mem.Addr, extra int64, strides []int, counts []int) []int64 {
+	hdr := make([]int64, 0, 4+len(counts)+len(strides))
+	hdr = append(hdr, id, int64(addr), extra, int64(len(counts)))
+	for _, c := range counts {
+		hdr = append(hdr, int64(c))
+	}
+	for _, s := range strides {
+		hdr = append(hdr, int64(s))
+	}
+	return hdr
+}
+
+// decodeStridedHdr is the inverse of stridedHdr.
+func decodeStridedHdr(hdr []int64) (id int64, addr mem.Addr, extra int64, strides []int, counts []int) {
+	id, addr, extra = hdr[0], mem.Addr(hdr[1]), hdr[2]
+	n := int(hdr[3])
+	counts = make([]int, n)
+	for i := range counts {
+		counts[i] = int(hdr[4+i])
+	}
+	strides = make([]int, n-1)
+	for i := range strides {
+		strides[i] = int(hdr[4+n+i])
+	}
+	return
+}
+
+// NbPutS starts a non-blocking strided put. Chunks at least
+// TypedThreshold bytes long go as a list of non-blocking RDMA transfers —
+// no pack/unpack, no flow control, no remote progress (§III.C.2). Smaller
+// (tall-skinny) chunks use the typed/packed path, as does any patch whose
+// memory regions are unavailable.
+func (rt *Runtime) NbPutS(th *sim.Thread, local mem.Addr, localStrides []int,
+	dst GlobalPtr, dstStrides []int, counts []int) *Handle {
+
+	validateStrided("PutS", localStrides, counts)
+	validateStrided("PutS", dstStrides, counts)
+	if numChunks(counts) == 1 {
+		return rt.NbPut(th, local, dst, counts[0])
+	}
+	rt.cons.noteWrite(dst.Rank, rt.allocKey(dst))
+
+	if counts[0] >= rt.W.Cfg.TypedThreshold &&
+		rt.localRegionFor(th, local, patchExtent(localStrides, counts)) &&
+		rt.remoteRegionFor(th, dst.Rank, dst.Addr, patchExtent(dstStrides, counts)) {
+		comp := sim.NewCompletion(rt.W.K)
+		set := rt.mainCtx.NewOpSet(comp)
+		ep := rt.epData(th, dst.Rank)
+		forEachChunk(counts, localStrides, dstStrides, func(lOff, rOff int) {
+			rt.mainCtx.RdmaPutSet(th, ep, local+mem.Addr(lOff),
+				dst.Addr+mem.Addr(rOff), counts[0], set)
+		})
+		set.Arm()
+		rt.ranks[dst.Rank].unflushedPuts++
+		rt.Stats.Inc("strided.chunks", int64(numChunks(counts)))
+		return &Handle{rt: rt, comps: []*sim.Completion{comp}}
+	}
+
+	// Typed/packed path.
+	m := patchBytes(counts)
+	rt.copyCost(th, m)
+	data := packPatch(rt.C.Space, local, localStrides, counts)
+	id, _ := rt.newPend()
+	rt.ranks[dst.Rank].unackedAMs++
+	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dPutSReq,
+		stridedHdr(id, dst.Addr, 0, dstStrides, counts), data)
+	rt.Stats.Inc("strided.typed", 1)
+	return &Handle{rt: rt, comps: []*sim.Completion{rt.finishedCompletion()}}
+}
+
+// PutS is the blocking strided put.
+func (rt *Runtime) PutS(th *sim.Thread, local mem.Addr, localStrides []int,
+	dst GlobalPtr, dstStrides []int, counts []int) {
+	rt.NbPutS(th, local, localStrides, dst, dstStrides, counts).Wait(th)
+}
+
+// NbGetS starts a non-blocking strided get (protocol selection as NbPutS).
+func (rt *Runtime) NbGetS(th *sim.Thread, src GlobalPtr, srcStrides []int,
+	local mem.Addr, localStrides []int, counts []int) *Handle {
+
+	validateStrided("GetS", srcStrides, counts)
+	validateStrided("GetS", localStrides, counts)
+	if numChunks(counts) == 1 {
+		return rt.NbGet(th, src, local, counts[0])
+	}
+	key := rt.allocKey(src)
+	rt.cons.checkRead(th, src.Rank, key)
+	rt.cons.noteRead(src.Rank, key)
+	comp := sim.NewCompletion(rt.W.K)
+
+	if counts[0] >= rt.W.Cfg.TypedThreshold &&
+		rt.localRegionFor(th, local, patchExtent(localStrides, counts)) &&
+		rt.remoteRegionFor(th, src.Rank, src.Addr, patchExtent(srcStrides, counts)) {
+		set := rt.mainCtx.NewOpSet(comp)
+		ep := rt.epData(th, src.Rank)
+		forEachChunk(counts, localStrides, srcStrides, func(lOff, rOff int) {
+			rt.mainCtx.RdmaGetSet(th, ep, local+mem.Addr(lOff),
+				src.Addr+mem.Addr(rOff), counts[0], set)
+		})
+		set.Arm()
+		rt.Stats.Inc("strided.chunks", int64(numChunks(counts)))
+		return &Handle{rt: rt, comps: []*sim.Completion{comp}}
+	}
+
+	// Typed path: the target packs and replies; we unpack on receipt.
+	id, p := rt.newPend()
+	p.comp = comp
+	p.localAddr = local
+	p.strides = localStrides
+	p.counts = counts
+	rt.mainCtx.SendAM(th, rt.epSvc(th, src.Rank), dGetSReq,
+		stridedHdr(id, src.Addr, 0, srcStrides, counts), nil)
+	rt.Stats.Inc("strided.typed", 1)
+	return &Handle{rt: rt, comps: []*sim.Completion{comp}}
+}
+
+// GetS is the blocking strided get.
+func (rt *Runtime) GetS(th *sim.Thread, src GlobalPtr, srcStrides []int,
+	local mem.Addr, localStrides []int, counts []int) {
+	rt.NbGetS(th, src, srcStrides, local, localStrides, counts).Wait(th)
+}
+
+// NbAccS starts a non-blocking strided accumulate: a single packed active
+// message whose handler applies dst += scale*src chunk by chunk at the
+// target. Completion means remotely applied (acknowledged).
+func (rt *Runtime) NbAccS(th *sim.Thread, local mem.Addr, localStrides []int,
+	dst GlobalPtr, dstStrides []int, counts []int, scale float64) *Handle {
+
+	validateStrided("AccS", localStrides, counts)
+	validateStrided("AccS", dstStrides, counts)
+	if counts[0]%mem.Float64Size != 0 {
+		panic("armci: AccS chunk size must be a multiple of 8")
+	}
+	rt.cons.noteWrite(dst.Rank, rt.allocKey(dst))
+	m := patchBytes(counts)
+	rt.copyCost(th, m)
+	data := packPatch(rt.C.Space, local, localStrides, counts)
+	id, p := rt.newPend()
+	comp := sim.NewCompletion(rt.W.K)
+	p.comp = comp
+	rt.ranks[dst.Rank].unackedAMs++
+	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dAccSReq,
+		stridedHdr(id, dst.Addr, int64(math.Float64bits(scale)), dstStrides, counts), data)
+	rt.Stats.Inc("acc.strided", 1)
+	return &Handle{rt: rt, comps: []*sim.Completion{comp}}
+}
+
+// AccS is the blocking strided accumulate.
+func (rt *Runtime) AccS(th *sim.Thread, local mem.Addr, localStrides []int,
+	dst GlobalPtr, dstStrides []int, counts []int, scale float64) {
+	rt.NbAccS(th, local, localStrides, dst, dstStrides, counts, scale).Wait(th)
+}
+
+// --- strided protocol handlers ---
+
+func (rt *Runtime) handlePutSReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr, _, strides, counts := decodeStridedHdr(msg.Hdr)
+	rt.copyCost(th, len(msg.Data))
+	unpackPatch(rt.C.Space, addr, strides, counts, msg.Data)
+	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
+}
+
+func (rt *Runtime) handleGetSReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr, _, strides, counts := decodeStridedHdr(msg.Hdr)
+	m := patchBytes(counts)
+	rt.copyCost(th, m)
+	data := packPatch(rt.C.Space, addr, strides, counts)
+	x.SendAM(th, msg.Src, dGetSRep, []int64{id}, data)
+}
+
+func (rt *Runtime) handleGetSRep(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
+	id := msg.Hdr[0]
+	p := rt.pend[id]
+	rt.copyCost(th, len(msg.Data))
+	unpackPatch(rt.C.Space, p.localAddr, p.strides, p.counts, msg.Data)
+	delete(rt.pend, id)
+	p.comp.Finish()
+}
+
+func (rt *Runtime) handleAccSReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
+	id, addr, scaleBits, strides, counts := decodeStridedHdr(msg.Hdr)
+	scale := math.Float64frombits(uint64(scaleBits))
+	t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(len(msg.Data)))
+	if t > 0 {
+		th.Sleep(t)
+	}
+	pos := 0
+	forEachChunk(counts, strides, strides, func(off, _ int) {
+		mem.AddFloat64s(rt.C.Space.Bytes(addr+mem.Addr(off), counts[0]),
+			msg.Data[pos:pos+counts[0]], scale)
+		pos += counts[0]
+	})
+	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
+}
+
+// --- generalized I/O vector interface ---
+
+// VecSeg is one segment of a generalized I/O vector operation.
+type VecSeg struct {
+	Local  mem.Addr
+	Remote mem.Addr
+	N      int
+}
+
+// NbPutV puts every segment to rank; segments are issued as independent
+// non-blocking contiguous transfers (ARMCI's vector interface trades the
+// strided descriptor's compactness for full generality).
+func (rt *Runtime) NbPutV(th *sim.Thread, rank int, segs []VecSeg) *Handle {
+	comps := make([]*sim.Completion, 0, len(segs))
+	for _, s := range segs {
+		h := rt.NbPut(th, s.Local, GlobalPtr{Rank: rank, Addr: s.Remote}, s.N)
+		comps = append(comps, h.comps...)
+	}
+	rt.Stats.Inc("vector", 1)
+	return &Handle{rt: rt, comps: comps}
+}
+
+// NbGetV gets every segment from rank.
+func (rt *Runtime) NbGetV(th *sim.Thread, rank int, segs []VecSeg) *Handle {
+	comps := make([]*sim.Completion, 0, len(segs))
+	for _, s := range segs {
+		h := rt.NbGet(th, GlobalPtr{Rank: rank, Addr: s.Remote}, s.Local, s.N)
+		comps = append(comps, h.comps...)
+	}
+	rt.Stats.Inc("vector", 1)
+	return &Handle{rt: rt, comps: comps}
+}

@@ -1,0 +1,172 @@
+package armci
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestStridedGetConflictsWithStridedWrite(t *testing.T) {
+	// Location consistency must also hold for strided traffic: a strided
+	// get of a patch that has an outstanding strided accumulate to the
+	// same structure fences first and observes the accumulated values.
+	w, err := Run(atCfg(2), func(th *sim.Thread, rt *Runtime) {
+		const rows, ld = 4, 512
+		a := rt.Malloc(th, rows*ld)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, rows*256)
+		vals := make([]float64, rows*32)
+		for i := range vals {
+			vals[i] = 3
+		}
+		rt.Space().WriteFloat64s(local, vals)
+		counts := []int{256, rows}
+		rt.NbAccS(th, local, []int{256}, a.At(1), []int{ld}, counts, 1.0)
+		// Immediately read the same patch back (no explicit fence).
+		back := rt.LocalAlloc(th, rows*256)
+		rt.GetS(th, a.At(1), []int{ld}, back, []int{256}, counts)
+		got := make([]float64, rows*32)
+		rt.Space().ReadFloat64s(back, got)
+		for i, v := range got {
+			if v != 3 {
+				t.Fatalf("elem %d = %v: strided get did not fence the acc", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Runtimes[0].Stats.Get("conflict.fence") == 0 {
+		t.Fatal("no conflict fence recorded")
+	}
+}
+
+func TestStridedFallsBackToTypedWithoutRegions(t *testing.T) {
+	// Wide chunks would normally take the RDMA list; with registration
+	// forbidden the typed path must carry them, correctly.
+	cfg := atCfg(2)
+	cfg.MaxRegions = -1
+	w, err := Run(cfg, func(th *sim.Thread, rt *Runtime) {
+		const rows, cols, ld = 4, 256, 512
+		a := rt.Malloc(th, rows*ld)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.Space().Alloc(rows * cols)
+		want := pattern(rows*cols, 77)
+		rt.Space().CopyIn(local, want)
+		counts := []int{cols, rows}
+		rt.PutS(th, local, []int{cols}, a.At(1), []int{ld}, counts)
+		rt.Fence(th, 1)
+		back := rt.Space().Alloc(rows * cols)
+		rt.GetS(th, a.At(1), []int{ld}, back, []int{cols}, counts)
+		got := make([]byte, rows*cols)
+		rt.Space().CopyOut(back, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: %d != %d", i, got[i], want[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Runtimes[0].Stats
+	if st.Get("strided.typed") != 2 {
+		t.Fatalf("strided.typed = %d, want 2", st.Get("strided.typed"))
+	}
+	if st.Get("strided.chunks") != 0 {
+		t.Fatal("RDMA chunk path used without regions")
+	}
+}
+
+func TestVectorFallback(t *testing.T) {
+	cfg := atCfg(2)
+	cfg.MaxRegions = -1
+	_, err := Run(cfg, func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 4096)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.Space().Alloc(4096)
+		rt.Space().CopyIn(local, pattern(64, 31))
+		segs := []VecSeg{
+			{Local: local, Remote: a.At(1).Addr, N: 32},
+			{Local: local + 32, Remote: a.At(1).Addr + 256, N: 32},
+		}
+		rt.NbPutV(th, 1, segs).Wait(th)
+		rt.Fence(th, 1)
+		back := rt.Space().Alloc(4096)
+		backSegs := []VecSeg{
+			{Local: back, Remote: a.At(1).Addr, N: 32},
+			{Local: back + 32, Remote: a.At(1).Addr + 256, N: 32},
+		}
+		rt.NbGetV(th, 1, backSegs).Wait(th)
+		got := make([]byte, 64)
+		rt.Space().CopyOut(back, got)
+		want := pattern(64, 31)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: %d != %d", i, got[i], want[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleWaitTwiceIsIdempotent(t *testing.T) {
+	_, err := Run(atCfg(2), func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 4096)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, 4096)
+		h := rt.NbGet(th, a.At(1), local, 2048)
+		h.Wait(th)
+		at := th.Now()
+		h.Wait(th) // second wait: immediate
+		if th.Now() != at {
+			t.Error("second Wait advanced time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test3DStridedRoundTrip(t *testing.T) {
+	// Three stride levels: a brick of 2x3 chunks of 64 bytes.
+	_, err := Run(atCfg(2), func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 1<<14)
+		if rt.Rank != 0 {
+			return
+		}
+		counts := []int{64, 3, 2}
+		lStr := []int{64, 192}  // dense local brick
+		rStr := []int{128, 512} // padded remote layout
+		ext := patchExtent(lStr, counts)
+		local := rt.LocalAlloc(th, ext)
+		want := pattern(ext, 55)
+		rt.Space().CopyIn(local, want)
+		rt.PutS(th, local, lStr, a.At(1), rStr, counts)
+		rt.Fence(th, 1)
+		back := rt.LocalAlloc(th, ext)
+		rt.GetS(th, a.At(1), rStr, back, lStr, counts)
+		forEachChunk(counts, lStr, lStr, func(off, _ int) {
+			g := rt.Space().Bytes(back+mem.Addr(off), 64)
+			for i := range g {
+				if g[i] != want[off+i] {
+					t.Fatalf("offset %d byte %d mismatch", off, i)
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

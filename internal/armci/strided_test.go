@@ -1,0 +1,171 @@
+package armci
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestChunkIteratorCoversExactly checks the core strided invariant: the
+// chunk iterator visits every byte of the patch exactly once, within the
+// declared extent.
+func TestChunkIteratorCoversExactly(t *testing.T) {
+	f := func(c0u, c1u, c2u, s1u, s2u uint8) bool {
+		c0 := int(c0u%64) + 1
+		c1 := int(c1u%5) + 1
+		c2 := int(c2u%4) + 1
+		s1 := c0 + int(s1u%32)
+		s2 := s1*c1 + int(s2u%32)
+		counts := []int{c0, c1, c2}
+		strides := []int{s1, s2}
+
+		extent := patchExtent(strides, counts)
+		seen := make([]int, extent)
+		chunks := 0
+		forEachChunk(counts, strides, strides, func(off, off2 int) {
+			if off != off2 {
+				t.Fatalf("mismatched offsets for identical strides")
+			}
+			chunks++
+			for b := off; b < off+c0; b++ {
+				seen[b]++
+			}
+		})
+		if chunks != numChunks(counts) {
+			return false
+		}
+		covered := 0
+		for _, v := range seen {
+			if v > 1 {
+				return false // overlap
+			}
+			covered += v
+		}
+		return covered == patchBytes(counts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTripProperty(t *testing.T) {
+	_, err := Run(Config{Procs: 1, ProcsPerNode: 1}, func(th *sim.Thread, rt *Runtime) {
+		f := func(c0u, c1u, s1u, seed uint8) bool {
+			c0 := int(c0u%48) + 1
+			c1 := int(c1u%6) + 1
+			s1 := c0 + int(s1u%16)
+			counts := []int{c0, c1}
+			strides := []int{s1}
+			extent := patchExtent(strides, counts)
+
+			src := rt.Space().Alloc(extent)
+			dst := rt.Space().Alloc(extent)
+			rt.Space().CopyIn(src, pattern(extent, seed))
+
+			data := packPatch(rt.Space(), src, strides, counts)
+			if len(data) != patchBytes(counts) {
+				return false
+			}
+			unpackPatch(rt.Space(), dst, strides, counts, data)
+			// Compare only patch bytes; gap bytes must stay zero in dst.
+			ok := true
+			forEachChunk(counts, strides, strides, func(off, _ int) {
+				a := rt.Space().Bytes(src+mem.Addr(off), c0)
+				b := rt.Space().Bytes(dst+mem.Addr(off), c0)
+				for i := range a {
+					if a[i] != b[i] {
+						ok = false
+					}
+				}
+			})
+			rt.Space().Free(src)
+			rt.Space().Free(dst)
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStridedRandomRoundTripsThroughNetwork(t *testing.T) {
+	// Randomized patches pushed through the real protocols (both RDMA and
+	// typed paths, selected by chunk size) and read back.
+	_, err := Run(atCfg(2), func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 1<<16)
+		if rt.Rank != 0 {
+			return
+		}
+		rng := sim.NewRNG(77)
+		for trial := 0; trial < 12; trial++ {
+			c0 := rng.Intn(300) + 8
+			c1 := rng.Intn(6) + 1
+			localStride := c0 + rng.Intn(64)
+			remoteStride := c0 + rng.Intn(64)
+			counts := []int{c0, c1}
+			extL := patchExtent([]int{localStride}, counts)
+			extR := patchExtent([]int{remoteStride}, counts)
+			if extR > 1<<16 {
+				continue
+			}
+			local := rt.LocalAlloc(th, extL)
+			back := rt.LocalAlloc(th, extL)
+			want := pattern(extL, byte(trial))
+			rt.Space().CopyIn(local, want)
+
+			rt.PutS(th, local, []int{localStride}, a.At(1), []int{remoteStride}, counts)
+			rt.Fence(th, 1)
+			rt.GetS(th, a.At(1), []int{remoteStride}, back, []int{localStride}, counts)
+
+			forEachChunk(counts, []int{localStride}, []int{localStride}, func(off, _ int) {
+				g := rt.Space().Bytes(back+mem.Addr(off), c0)
+				w := want[off : off+c0]
+				for i := range w {
+					if g[i] != w[i] {
+						t.Fatalf("trial %d (c0=%d c1=%d): byte %d mismatch", trial, c0, c1, i)
+					}
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStridedValidation(t *testing.T) {
+	cases := []func(rt *Runtime, th *sim.Thread){
+		func(rt *Runtime, th *sim.Thread) { // stride below chunk
+			rt.PutS(th, 64, []int{8}, GlobalPtr{0, 64}, []int{8}, []int{16, 2})
+		},
+		func(rt *Runtime, th *sim.Thread) { // bad stride count
+			rt.GetS(th, GlobalPtr{0, 64}, []int{32, 32}, 64, []int{32, 32}, []int{16, 2})
+		},
+		func(rt *Runtime, th *sim.Thread) { // empty counts
+			rt.PutS(th, 64, nil, GlobalPtr{0, 64}, nil, nil)
+		},
+		func(rt *Runtime, th *sim.Thread) { // unaligned acc
+			rt.AccS(th, 64, []int{16}, GlobalPtr{0, 64}, []int{16}, []int{12, 2}, 1)
+		},
+	}
+	for i, bad := range cases {
+		i, bad := i, bad
+		_, err := Run(Config{Procs: 1, ProcsPerNode: 1}, func(th *sim.Thread, rt *Runtime) {
+			rt.Space().Alloc(4096)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			bad(rt, th)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"repro/internal/armci"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// AblationContexts quantifies §III.D's multiple-context design. With a
+// single context (rho=1) the asynchronous thread and the main thread
+// share one progress engine and its lock: while the async thread drains
+// expensive remote accumulates, the main thread cannot retire its own
+// local completions ("the main thread may not be able to make progress on
+// local completions, while the asynchronous thread holds the lock").
+// With rho=2 remote service lands on a second context and the main
+// thread's blocking operations are undisturbed.
+//
+// Rank 0's main thread runs blocking gets (measured); rank 2 floods rank
+// 0 with large accumulates that the async thread must apply.
+func AblationContexts(opsEach int) *Grid {
+	g := &Grid{Title: "Ablation (SIII.D): async thread with 1 vs 2 PAMI contexts",
+		Header: []string{"contexts", "main_get_us", "lock_contended"}}
+	const accBytes = 64 * 1024 // ~16 us of target-side apply time each
+	for _, nCtx := range []int{1, 2} {
+		cfg := armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx}
+		lat := sim.NewSeries(false)
+		var contended uint64
+		var done bool
+		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+			a := rt.Malloc(th, accBytes)
+			b := rt.Malloc(th, 4096)
+			switch rt.Rank {
+			case 0:
+				local := rt.LocalAlloc(th, 4096)
+				// Let the accumulate flood establish itself first.
+				th.Sleep(400 * sim.Microsecond)
+				for i := 0; i < opsEach; i++ {
+					t0 := th.Now()
+					rt.Get(th, b.At(1), local, 1024)
+					lat.AddTime(th.Now() - t0)
+				}
+				done = true
+				for _, x := range rt.C.Contexts {
+					contended += x.Lock.Contended
+				}
+			case 2:
+				// Paced accumulate flood: ~80% duty cycle on rank 0's
+				// service context, without unbounded queue growth.
+				local := rt.LocalAlloc(th, accBytes)
+				for !done {
+					rt.NbAcc(th, local, a.At(0), accBytes, 1.0)
+					th.Sleep(20 * sim.Microsecond)
+				}
+			}
+		})
+		g.AddF(2, float64(nCtx), lat.Mean(), float64(contended))
+	}
+	g.Note("rho=2 isolates the main thread's completions from remote service")
+	return g
+}
+
+// AblationHardwareAMO answers the paper's closing question (§IV.B.3):
+// what if the network supported generic atomics in hardware, as Cray
+// Gemini and InfiniBand do? It sweeps the Fig 9 micro-kernel with rank 0
+// computing, comparing the async-thread software path against NIC-executed
+// fetch-and-add. The hardware path needs no async thread and its latency
+// stays far below the software path's linear-in-p growth.
+func AblationHardwareAMO(procCounts []int, opsEach int) *Grid {
+	g := &Grid{Title: "Ablation (SIV.B.3): software AMO (async thread) vs hardware NIC AMO",
+		Header: []string{"procs", "AT_software_us", "hw_amo_us"}}
+	for _, p := range procCounts {
+		sw := Fig9PointC(p, 1, true, true, opsEach)
+		hw := hardwareAMOPoint(p, opsEach)
+		g.AddF(2, float64(p), sw, hw)
+	}
+	g.Note("one rank per node; hardware AMOs make the async thread unnecessary")
+	return g
+}
+
+func hardwareAMOPoint(procs, opsEach int) float64 {
+	params := network.DefaultParams()
+	params.HardwareAMO = true
+	cfg := armci.Config{Procs: procs, ProcsPerNode: 1, Params: params}
+	var doneWorkers int
+	lat := sim.NewSeries(false)
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, 8)
+		if rt.Rank == 0 {
+			for doneWorkers < procs-1 {
+				th.Sleep(300 * sim.Microsecond) // computing; no progress needed
+			}
+			return
+		}
+		for i := 0; i < opsEach; i++ {
+			t0 := th.Now()
+			rt.FetchAdd(th, a.At(0), 1)
+			lat.AddTime(th.Now() - t0)
+		}
+		doneWorkers++
+	})
+	return lat.Mean()
+}
+
+// AblationStridedProtocol quantifies §III.C.2's protocol choice: a
+// strided patch sent as a list of non-blocking RDMA chunks (the paper's
+// design, leveraging the torus's messaging rate) versus the legacy
+// pack/unpack path (one packed message plus target-side unpack, needing
+// flow control and remote progress). The chunk list wins for all but
+// tall-skinny patches, which is why TypedThreshold defaults low.
+func AblationStridedProtocol(l0s []int, total int) *Grid {
+	g := &Grid{Title: "Ablation (SIII.C.2): chunk-list RDMA vs pack/unpack for strided puts",
+		Header: []string{"l0_bytes", "chunks_us", "packed_us"}}
+	measure := func(l0 int, forceTyped bool) float64 {
+		cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true}
+		if forceTyped {
+			cfg.TypedThreshold = total + 1 // everything takes the packed path
+		} else {
+			cfg.TypedThreshold = 1 // everything takes chunk-list RDMA
+		}
+		var us float64
+		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+			a := rt.Malloc(th, total)
+			if rt.Rank != 0 {
+				return
+			}
+			local := rt.LocalAlloc(th, total)
+			counts := []int{l0, total / l0}
+			strides := []int{l0}
+			rt.PutS(th, local, strides, a.At(1), strides, counts) // warm
+			rt.Fence(th, 1)
+			t0 := th.Now()
+			rt.PutS(th, local, strides, a.At(1), strides, counts)
+			rt.Fence(th, 1)
+			us = sim.ToMicros(th.Now() - t0)
+		})
+		return us
+	}
+	for _, l0 := range l0s {
+		g.AddF(2, float64(l0), measure(l0, false), measure(l0, true))
+	}
+	g.Note("%d-byte patch; packed path also needs target progress (not shown: D-mode stalls)", total)
+	return g
+}
+
+// AblationRouting quantifies the deterministic-vs-dynamic routing gap
+// the paper's §II.A flags as unexposed software capability: many
+// concurrent transfers funneling into one node (a hotspot) under
+// dimension-order routes versus adaptive minimal routes. Network layer
+// only — the ARMCI fence protocol requires deterministic ordering.
+func AblationRouting(flows, sizeKB int) *Grid {
+	g := &Grid{Title: "Ablation (SII.A): deterministic DOR vs adaptive routing (hotspot)",
+		Header: []string{"flows", "DOR_us", "adaptive_us"}}
+	makespan := func(adaptive bool, n int) float64 {
+		k := sim.NewKernel()
+		tor := topology.New([topology.NumDims]int{4, 4, 4, 2, 2}, 1)
+		p := network.DefaultParams()
+		p.AdaptiveRouting = adaptive
+		nw := network.New(k, tor, p)
+		var last sim.Time
+		k.Spawn("drv", func(th *sim.Thread) {
+			wg := sim.NewWaitGroup(k)
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				src := 1 + (i*11)%(tor.Nodes()-1)
+				nw.Send(src, 0, sizeKB<<10, network.Data, func() {
+					if k.Now() > last {
+						last = k.Now()
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait(th)
+		})
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		return sim.ToMicros(last)
+	}
+	for n := 4; n <= flows; n *= 2 {
+		g.AddF(1, float64(n), makespan(false, n), makespan(true, n))
+	}
+	g.Note("%d KB per flow into node 0 of a 4x4x4x2x2 torus", sizeKB)
+	return g
+}
+
+// AblationConsistency quantifies §III.E: the dgemm-style pattern (reads
+// of A/B interleaved with accumulates to C) under naive per-target
+// conflict tracking versus per-memory-region tracking. Per-region must
+// eliminate the false-positive fences and run faster.
+func AblationConsistency(tiles int) *Grid {
+	g := &Grid{Title: "Ablation (SIII.E): naive cs_tgt vs per-region cs_mr tracking",
+		Header: []string{"mode", "time_ms", "fences", "avoided"}}
+	for _, mode := range []armci.ConsistencyMode{armci.ConsistencyNaive, armci.ConsistencyPerRegion} {
+		cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: mode}
+		var elapsed sim.Time
+		var fences, avoided int64
+		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+			const tile = 16 * 1024
+			A := rt.Malloc(th, tile)
+			B := rt.Malloc(th, tile)
+			C := rt.Malloc(th, tile)
+			if rt.Rank != 0 {
+				return
+			}
+			local := rt.LocalAlloc(th, tile)
+			t0 := th.Now()
+			for i := 0; i < tiles; i++ {
+				// dgemm inner step: read next A and B tiles while the
+				// previous C accumulate is still in flight.
+				rt.NbAcc(th, local, C.At(1), tile, 1.0)
+				rt.Get(th, A.At(1), local, tile)
+				rt.Get(th, B.At(1), local, tile)
+			}
+			rt.Fence(th, 1)
+			elapsed = th.Now() - t0
+			fences = rt.Stats.Get("fence")
+			avoided = rt.Stats.Get("conflict.avoided")
+		})
+		name := "naive"
+		if mode == armci.ConsistencyPerRegion {
+			name = "per-region"
+		}
+		g.Add(name,
+			f3(sim.ToMillis(elapsed)), i64(fences), i64(avoided))
+	}
+	g.Note("reads of A/B must not fence the in-flight accumulates to C")
+	return g
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"repro/internal/armci"
+	"repro/internal/sim"
+)
+
+// Fig9Point measures the mean fetch-and-add latency observed by ranks
+// 1..p-1 hammering a counter on rank 0 — the paper's load-balance-counter
+// micro-kernel — under one configuration:
+//
+//   - async=false: the default mode, where the counter is only serviced
+//     when rank 0's main thread calls the progress engine;
+//   - compute=true: rank 0 "computes" in ~300 us chunks between progress
+//     opportunities (t_compute in §IV.B.3).
+func Fig9Point(procs int, async, compute bool, opsEach int) float64 {
+	return Fig9PointC(procs, 16, async, compute, opsEach)
+}
+
+// Fig9PointC is Fig9Point with an explicit processes-per-node placement
+// (the ablations use 1/node to expose target-side serialization).
+func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
+	cfg := armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async}
+	var doneWorkers int
+	lat := sim.NewSeries(false)
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, 8)
+		if rt.Rank == 0 {
+			for doneWorkers < procs-1 {
+				if compute {
+					th.Sleep(300 * sim.Microsecond)
+				} else {
+					th.Sleep(sim.Microsecond)
+				}
+				if !async {
+					rt.Progress(th)
+				}
+			}
+			return
+		}
+		for i := 0; i < opsEach; i++ {
+			t0 := th.Now()
+			rt.FetchAdd(th, a.At(0), 1)
+			lat.AddTime(th.Now() - t0)
+		}
+		doneWorkers++
+	})
+	return lat.Mean()
+}
+
+// Fig9 regenerates the read-modify-write figure: average fetch-and-add
+// latency versus process count for {default, async-thread} x {idle,
+// computing} rank 0. Expected shape: D and AT comparable when rank 0 is
+// idle; D collapses once rank 0 computes; AT latency grows linearly with
+// p (no hardware AMOs to offload to).
+func Fig9(procCounts []int, opsEach int) *Grid {
+	g := &Grid{Title: "Fig 9: fetch-and-add latency on a rank-0 counter",
+		Header: []string{"procs", "D_idle_us", "AT_idle_us", "D_compute_us", "AT_compute_us"}}
+	for _, p := range procCounts {
+		g.AddF(2, float64(p),
+			Fig9Point(p, false, false, opsEach),
+			Fig9Point(p, true, false, opsEach),
+			Fig9Point(p, false, true, opsEach),
+			Fig9Point(p, true, true, opsEach),
+		)
+	}
+	g.Note("t_compute = 300 us chunks on rank 0, as in the paper")
+	return g
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"repro/internal/armci"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// twoProcCfg is the Fig 3-6/8 setup: two processes on adjacent nodes.
+func twoProcCfg() armci.Config {
+	return armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true}
+}
+
+// Fig3 regenerates the contiguous latency figure: blocking get and put
+// latency versus message size between adjacent nodes. Paper headline:
+// get(16 B) = 2.89 us, put(16 B) = 2.7 us, with a dip at 256 B.
+func Fig3(sizes []int, iters int) *Grid {
+	g := &Grid{Title: "Fig 3: contiguous get/put latency (adjacent nodes)",
+		Header: []string{"bytes", "get_us", "put_us"}}
+	maxSize := sizes[len(sizes)-1]
+	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+		aGet := rt.Malloc(th, maxSize)
+		aPut := rt.Malloc(th, maxSize)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, maxSize)
+		rt.Get(th, aGet.At(1), local, 16) // warm region + endpoint caches
+		rt.Put(th, local, aPut.At(1), 16)
+		rt.Fence(th, 1)
+		for _, m := range sizes {
+			t0 := th.Now()
+			for i := 0; i < iters; i++ {
+				rt.Get(th, aGet.At(1), local, m)
+			}
+			getUS := sim.ToMicros(th.Now()-t0) / float64(iters)
+
+			t0 = th.Now()
+			for i := 0; i < iters; i++ {
+				rt.Put(th, local, aPut.At(1), m)
+			}
+			putUS := sim.ToMicros(th.Now()-t0) / float64(iters)
+			g.AddF(3, float64(m), getUS, putUS)
+		}
+	})
+	return g
+}
+
+// bwIters picks a per-size repetition count bounded by total volume.
+func bwIters(m int) int {
+	iters := (16 << 20) / m
+	if iters < 8 {
+		iters = 8
+	}
+	if iters > 512 {
+		iters = 512
+	}
+	return iters
+}
+
+// Fig4 regenerates the bandwidth figure: streamed put and windowed get
+// bandwidth versus message size. Paper headline: peak 1775 MB/s; the get
+// round-trip overhead is visible until ~8 KB.
+func Fig4(sizes []int, window int) *Grid {
+	g := &Grid{Title: "Fig 4: contiguous get/put bandwidth (adjacent nodes)",
+		Header: []string{"bytes", "get_MBs", "put_MBs"}}
+	maxSize := sizes[len(sizes)-1]
+	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+		aGet := rt.Malloc(th, maxSize)
+		aPut := rt.Malloc(th, maxSize)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, maxSize)
+		rt.Get(th, aGet.At(1), local, 16)
+		rt.Put(th, local, aPut.At(1), 16)
+		rt.Fence(th, 1)
+		for _, m := range sizes {
+			iters := bwIters(m)
+
+			// Windowed non-blocking gets.
+			t0 := th.Now()
+			handles := make([]*armci.Handle, 0, window)
+			for i := 0; i < iters; i++ {
+				handles = append(handles, rt.NbGet(th, aGet.At(1), local, m))
+				if len(handles) == window {
+					for _, h := range handles {
+						h.Wait(th)
+					}
+					handles = handles[:0]
+				}
+			}
+			for _, h := range handles {
+				h.Wait(th)
+			}
+			getBW := float64(m) * float64(iters) / float64(th.Now()-t0) * 1000
+
+			// Streamed non-blocking puts.
+			t0 = th.Now()
+			handles = handles[:0]
+			for i := 0; i < iters; i++ {
+				handles = append(handles, rt.NbPut(th, local, aPut.At(1), m))
+				if len(handles) == window {
+					for _, h := range handles {
+						h.Wait(th)
+					}
+					handles = handles[:0]
+				}
+			}
+			for _, h := range handles {
+				h.Wait(th)
+			}
+			rt.Fence(th, 1)
+			putBW := float64(m) * float64(iters) / float64(th.Now()-t0) * 1000
+
+			g.AddF(1, float64(m), getBW, putBW)
+		}
+	})
+	return g
+}
+
+// Fig5 regenerates the effective latency-per-byte figure (the message
+// aggregation inflection point; ~1 ns/byte beyond 4 KB).
+func Fig5(sizes []int, iters int) *Grid {
+	lat := Fig3(sizes, iters)
+	g := &Grid{Title: "Fig 5: effective latency per byte (get)",
+		Header: []string{"bytes", "ns_per_byte"}}
+	getUS := lat.Column("get_us")
+	for i, m := range sizes {
+		g.AddF(3, float64(m), getUS[i]*1000/float64(m))
+	}
+	return g
+}
+
+// Fig6 regenerates the bandwidth-efficiency figure: achieved put
+// bandwidth over the 1.8 GB/s available peak, with the measured N1/2.
+// Paper: N1/2 = 2 KB, >= 90% beyond ~16 KB.
+func Fig6(sizes []int, window int) *Grid {
+	bw := Fig4(sizes, window)
+	peak := network.DefaultParams().PeakPayloadBandwidth()
+	g := &Grid{Title: "Fig 6: bandwidth efficiency vs available peak",
+		Header: []string{"bytes", "efficiency"}}
+	put := bw.Column("put_MBs")
+	nHalf := -1
+	for i, m := range sizes {
+		eff := put[i] / peak
+		g.AddF(3, float64(m), eff)
+		if nHalf < 0 && eff >= 0.5 {
+			nHalf = m
+		}
+	}
+	g.Note("available peak = %.0f MB/s; measured N1/2 ~ %d bytes (paper: 2 KB)", peak, nHalf)
+	return g
+}
+
+// Fig7 regenerates the latency-versus-rank figure on the paper's 2048
+// process (128 node = 2x2x4x4x2) partition: a pseudo-oscillatory curve
+// tracking torus hop distance under the ABCDET mapping, min 2.89 us,
+// +35 ns per hop per direction.
+func Fig7(procs, perNode, iters, rankStride int) *Grid {
+	g := &Grid{Title: "Fig 7: get latency vs process rank (ABCDET mapping)",
+		Header: []string{"rank", "hops", "latency_us"}}
+	cfg := armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: true,
+		RegionCacheCap: 8} // small cache: the LFU path is part of the story
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, 64)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, 64)
+		tor := rt.W.M.Net.Torus()
+		for r := 1; r < procs; r += rankStride {
+			rt.Get(th, a.At(r), local, 16) // warm this target
+			t0 := th.Now()
+			for i := 0; i < iters; i++ {
+				rt.Get(th, a.At(r), local, 16)
+			}
+			us := sim.ToMicros(th.Now()-t0) / float64(iters)
+			g.AddF(3, float64(r), float64(tor.RankHops(0, r)), us)
+		}
+	})
+	return g
+}
+
+// Fig8 regenerates the strided bandwidth figure: get/put bandwidth of a
+// fixed 1 MB patch as the contiguous chunk size l0 varies. The curve
+// should track Fig 4 evaluated at message size l0.
+func Fig8(l0s []int, total int) *Grid {
+	g := &Grid{Title: "Fig 8: strided get/put bandwidth vs chunk size (1MB total)",
+		Header: []string{"l0_bytes", "get_MBs", "put_MBs"}}
+	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, total)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, total)
+		rt.Get(th, a.At(1), local, 16)
+		for _, l0 := range l0s {
+			chunks := total / l0
+			counts := []int{l0, chunks}
+			strides := []int{l0} // dense patch: back-to-back chunks
+
+			t0 := th.Now()
+			rt.GetS(th, a.At(1), strides, local, strides, counts)
+			getBW := float64(total) / float64(th.Now()-t0) * 1000
+
+			t0 = th.Now()
+			rt.PutS(th, local, strides, a.At(1), strides, counts)
+			rt.Fence(th, 1)
+			putBW := float64(total) / float64(th.Now()-t0) * 1000
+
+			g.AddF(1, float64(l0), getBW, putBW)
+		}
+	})
+	return g
+}

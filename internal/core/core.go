@@ -1,0 +1,69 @@
+// Package core is the public facade of the PGAS-on-Blue-Gene/Q stack. It
+// wires the layers together — discrete-event kernel, 5-D torus network,
+// PAMI object model, and the ARMCI communication subsystem — and exposes
+// one call, Run, that boots a simulated partition and executes a program
+// on every rank.
+//
+// Layering (bottom-up):
+//
+//	sim       deterministic coroutine discrete-event kernel
+//	topology  5-D torus, ABCDET mapping, dimension-order routes
+//	network   messaging-unit + link model (calibrated to BG/Q)
+//	mem       per-process address spaces (real bytes move)
+//	pami      clients, contexts, endpoints, regions, AMs, RDMA, progress
+//	armci     the paper's contribution: scalable PGAS protocols
+//	ga        minimal Global Arrays on ARMCI
+//	nwchem    SCF application proxy
+package core
+
+import (
+	"repro/internal/armci"
+	"repro/internal/sim"
+)
+
+// Config aliases the ARMCI job configuration; see armci.Config for every
+// knob (process count, async thread, consistency mode, region budgets).
+type Config = armci.Config
+
+// Proc is the per-rank program context handed to Run bodies.
+type Proc struct {
+	// Th is the rank's main simulated thread; every blocking call takes it.
+	Th *sim.Thread
+	// RT is the rank's ARMCI runtime — the communication API.
+	RT *armci.Runtime
+	// Rank and Size identify this process within the job.
+	Rank, Size int
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.Th.Now() }
+
+// Default returns the default-mode configuration (no async thread) for p
+// processes at the BG/Q-standard 16 per node.
+func Default(procs int) Config {
+	return Config{Procs: procs, ProcsPerNode: 16}
+}
+
+// AsyncThread returns the paper's proposed configuration: an asynchronous
+// progress thread with its own PAMI context.
+func AsyncThread(procs int) Config {
+	return Config{Procs: procs, ProcsPerNode: 16, AsyncThread: true}
+}
+
+// Run boots a simulated partition per cfg and executes body on every
+// rank. It returns the world (for statistics) once the simulation drains,
+// or the error that stopped it (deadlock, thread panic).
+func Run(cfg Config, body func(p *Proc)) (*armci.World, error) {
+	return armci.Run(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		body(&Proc{Th: th, RT: rt, Rank: rt.Rank, Size: rt.Procs()})
+	})
+}
+
+// MustRun is Run for harnesses where an error is a programming bug.
+func MustRun(cfg Config, body func(p *Proc)) *armci.World {
+	w, err := Run(cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	visited := make([]bool, 4)
+	w, err := Run(AsyncThread(4), func(p *Proc) {
+		if p.Size != 4 {
+			t.Errorf("size = %d", p.Size)
+		}
+		if p.Now() != p.Th.Now() {
+			t.Error("Proc.Now disagrees with thread clock")
+		}
+		a := p.RT.Malloc(p.Th, 64)
+		p.RT.FetchAdd(p.Th, a.At(0), 1)
+		p.RT.Barrier(p.Th)
+		visited[p.Rank] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range visited {
+		if !v {
+			t.Fatalf("rank %d never ran", r)
+		}
+	}
+	if w.K.Now() == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	d := Default(1024)
+	if d.AsyncThread || d.Procs != 1024 || d.ProcsPerNode != 16 {
+		t.Fatalf("Default: %+v", d)
+	}
+	at := AsyncThread(2048)
+	if !at.AsyncThread || at.Procs != 2048 {
+		t.Fatalf("AsyncThread: %+v", at)
+	}
+}
+
+func TestMustRunReturnsWorld(t *testing.T) {
+	w := MustRun(Default(2), func(p *Proc) {})
+	if w == nil || len(w.Runtimes) != 2 {
+		t.Fatal("MustRun did not return the world")
+	}
+}
+
+func TestMustRunPanicsOnDeadlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustRun(AsyncThread(2), func(p *Proc) {
+		if p.Rank == 0 {
+			p.RT.Barrier(p.Th)
+			p.RT.Barrier(p.Th) // rank 1 never joins: deadlock
+		} else {
+			p.RT.Barrier(p.Th)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleRun boots a 4-process partition with asynchronous progress
+// threads, takes tickets from a shared counter, and verifies the total.
+func ExampleRun() {
+	total := int64(0)
+	w, err := core.Run(core.AsyncThread(4), func(p *core.Proc) {
+		counter := p.RT.Malloc(p.Th, 8) // collective: one slot per rank
+		ticket := p.RT.FetchAdd(p.Th, counter.At(0), 1)
+		_ = ticket
+		p.RT.Barrier(p.Th)
+		if p.Rank == 0 {
+			total = p.RT.Space().GetInt64(counter.At(0).Addr)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tickets issued: %d on %d ranks\n", total, len(w.Runtimes))
+	// Output: tickets issued: 4 on 4 ranks
+}

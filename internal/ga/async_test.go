@@ -1,0 +1,129 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/sim"
+)
+
+func TestAccAsyncAppliedBySync(t *testing.T) {
+	const procs, rows, cols = 4, 12, 12
+	_, err := armci.Run(atCfg(procs), func(th *sim.Thread, rt *armci.Runtime) {
+		f := Create(th, rt, "F", rows, cols)
+		f.Fill(th, 0)
+		f.Sync(th)
+		ones := make([]float64, rows*cols)
+		for i := range ones {
+			ones[i] = 1
+		}
+		// Issue several async accumulates back to back; none are waited.
+		for k := 0; k < 3; k++ {
+			f.AccAsync(th, 0, 0, rows, cols, ones, 1.0)
+		}
+		f.Sync(th) // must retire all of them, everywhere
+		if rt.Rank == 0 {
+			got := f.Get(th, 0, 0, rows, cols)
+			want := float64(3 * procs)
+			for i, v := range got {
+				if v != want {
+					t.Fatalf("elem %d = %v, want %v", i, v, want)
+				}
+			}
+		}
+		f.Sync(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccAsyncBufferReuseIsSafe(t *testing.T) {
+	// The caller may overwrite its value slice immediately after
+	// AccAsync returns: the payload was captured.
+	_, err := armci.Run(atCfg(2), func(th *sim.Thread, rt *armci.Runtime) {
+		f := Create(th, rt, "F", 8, 8)
+		f.Fill(th, 0)
+		f.Sync(th)
+		if rt.Rank == 0 {
+			vals := make([]float64, 64)
+			for i := range vals {
+				vals[i] = 5
+			}
+			f.AccAsync(th, 0, 0, 8, 8, vals, 1.0)
+			for i := range vals {
+				vals[i] = 999 // scribble over the source
+			}
+		}
+		f.Sync(th)
+		if rt.Rank == 1 {
+			got := f.Get(th, 0, 0, 8, 8)
+			for i, v := range got {
+				if v != 5 {
+					t.Fatalf("elem %d = %v: captured-buffer semantics violated", i, v)
+				}
+			}
+		}
+		f.Sync(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnDataRoundTrip(t *testing.T) {
+	_, err := armci.Run(atCfg(4), func(th *sim.Thread, rt *armci.Runtime) {
+		a := Create(th, rt, "A", 10, 14)
+		r0, c0, r1, c1, ok := a.OwnBlock()
+		if ok {
+			vals := make([]float64, (r1-r0)*(c1-c0))
+			for i := range vals {
+				vals[i] = float64(rt.Rank*1000 + i)
+			}
+			a.SetOwnData(vals)
+			back, _ := a.OwnData()
+			for i := range vals {
+				if back[i] != vals[i] {
+					t.Fatalf("rank %d elem %d: %v != %v", rt.Rank, i, back[i], vals[i])
+				}
+			}
+		}
+		a.Sync(th)
+		// Cross-check through the communication path.
+		if rt.Rank == 0 {
+			got := a.Get(th, r0, c0, r1, c1)
+			own, _ := a.OwnData()
+			for i := range own {
+				if got[i] != own[i] {
+					t.Fatalf("Get disagrees with OwnData at %d", i)
+				}
+			}
+		}
+		a.Sync(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksWithoutBlocks(t *testing.T) {
+	// 5 ranks on a 1x5 grid over a 3-column matrix: ranks 3,4 own nothing
+	// and every collective still works.
+	_, err := armci.Run(atCfg(5), func(th *sim.Thread, rt *armci.Runtime) {
+		a := Create(th, rt, "A", 6, 3)
+		_, _, _, _, ok := a.OwnBlock()
+		if rt.Rank >= 3 && ok {
+			t.Errorf("rank %d should own nothing", rt.Rank)
+		}
+		a.Fill(th, 1)
+		a.Sync(th)
+		sum := Dot(th, a, a)
+		if sum != 18 {
+			t.Errorf("dot = %v, want 18", sum)
+		}
+		a.Sync(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package ga_test
+
+import (
+	"fmt"
+
+	"repro/internal/armci"
+	"repro/internal/ga"
+	"repro/internal/sim"
+)
+
+// Example shows the Global Arrays workflow: create a distributed matrix,
+// write a patch from one rank, read it from another, and reduce with Dot.
+func Example() {
+	var dot float64
+	_, err := armci.Run(armci.Config{Procs: 4, ProcsPerNode: 4, AsyncThread: true},
+		func(th *sim.Thread, rt *armci.Runtime) {
+			a := ga.Create(th, rt, "A", 8, 8)
+			if rt.Rank == 0 {
+				ones := make([]float64, 64)
+				for i := range ones {
+					ones[i] = 2
+				}
+				a.Put(th, 0, 0, 8, 8, ones)
+			}
+			a.Sync(th)
+			dot = ga.Dot(th, a, a) // 64 elements of 2*2
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dot(A,A) = %.0f\n", dot)
+	// Output: dot(A,A) = 256
+}

@@ -1,0 +1,100 @@
+package loggp
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func defModel() Model { return FromParams(network.DefaultParams(), 1) }
+
+func TestTRdmaMatchesPaperHeadline(t *testing.T) {
+	m := defModel()
+	got := m.TRdma(16)
+	// The paper's measured 2.89 us adjacent-node get.
+	if got < 2600 || got > 3100 {
+		t.Fatalf("model TRdma(16B) = %.0f ns, want ~2890", got)
+	}
+}
+
+func TestFallbackStrictlySlower(t *testing.T) {
+	m := defModel()
+	for _, n := range []int{16, 256, 4096, 1 << 20} {
+		if m.TFallback(n) <= m.TRdma(n) {
+			t.Fatalf("fallback not slower at %d bytes", n)
+		}
+		// The gap is exactly the remote o, independent of m (Eq. 8).
+		if d := m.TFallback(n) - m.TRdma(n); d != m.ORemote {
+			t.Fatalf("gap %.0f != ORemote %.0f", d, m.ORemote)
+		}
+	}
+}
+
+func TestStridedInverseInL0(t *testing.T) {
+	m := defModel()
+	const total = 1 << 20
+	// Larger contiguous chunks strictly reduce predicted time (Eq. 9).
+	prev := m.TStrided(total, 64)
+	for _, l0 := range []int{128, 512, 2048, 16384, total} {
+		cur := m.TStrided(total, l0)
+		if cur >= prev {
+			t.Fatalf("TStrided not decreasing at l0=%d: %.0f >= %.0f", l0, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestStridedDegeneratesToContiguous(t *testing.T) {
+	m := defModel()
+	const total = 1 << 20
+	one := m.TStrided(total, total)
+	stream := m.PerMsg + float64(total)*m.G + m.L
+	if one != stream {
+		t.Fatalf("single-chunk strided %.0f != contiguous stream %.0f", one, stream)
+	}
+}
+
+func TestPeakAndNHalfMatchPaper(t *testing.T) {
+	m := defModel()
+	peak := m.PeakBandwidth()
+	if peak < 1700 || peak > 1850 {
+		t.Fatalf("peak %.0f MB/s outside paper's ~1775-1800", peak)
+	}
+	nh := m.NHalf()
+	// Paper Fig 6: N1/2 = 2 KB.
+	if nh < 1024 || nh > 4096 {
+		t.Fatalf("N1/2 = %d bytes, want ~2K", nh)
+	}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	m := defModel()
+	if e := m.Efficiency(m.NHalf()); e < 0.45 || e > 0.55 {
+		t.Fatalf("efficiency at N1/2 = %.2f, want ~0.5", e)
+	}
+	// Paper: >= 90% somewhere in the tens of KB.
+	if m.Efficiency(32<<10) < 0.9 {
+		t.Fatalf("efficiency at 32KB = %.2f, want >= 0.9", m.Efficiency(32<<10))
+	}
+	if m.Efficiency(1<<20) < 0.98 {
+		t.Fatalf("efficiency at 1MB = %.2f", m.Efficiency(1<<20))
+	}
+}
+
+func TestHopsIncreaseLatency(t *testing.T) {
+	p := network.DefaultParams()
+	near := FromParams(p, 1)
+	far := FromParams(p, 7)
+	d := far.TRdma(16) - near.TRdma(16)
+	// 6 extra hops, two directions, 35 ns each.
+	if d != float64(6*2*35) {
+		t.Fatalf("hop delta %.0f, want 420", d)
+	}
+}
+
+func TestFromParamsClampsHops(t *testing.T) {
+	p := network.DefaultParams()
+	if FromParams(p, 0) != FromParams(p, 1) {
+		t.Fatal("hops < 1 must clamp to 1 (loopback costs one hop)")
+	}
+}

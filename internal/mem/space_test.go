@@ -1,0 +1,213 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(100)
+	b := s.Alloc(200)
+	if a == Nil || b == Nil || a == b {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+	if s.LiveAllocs() != 2 {
+		t.Fatalf("live=%d", s.LiveAllocs())
+	}
+	if s.SizeOf(a) < 100 || s.SizeOf(b) < 200 {
+		t.Fatal("sizes too small")
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(64)
+	s.CopyIn(a, []byte{1, 2, 3, 4})
+	s.Free(a)
+	b := s.Alloc(64)
+	if b != a {
+		t.Fatalf("expected reuse of freed block, got %v vs %v", b, a)
+	}
+	for i, v := range s.Bytes(b, 64) {
+		if v != 0 {
+			t.Fatalf("byte %d not zeroed: %d", i, v)
+		}
+	}
+}
+
+func TestAddressZeroNeverReturned(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 100; i++ {
+		if s.Alloc(8) == Nil {
+			t.Fatal("Alloc returned nil address")
+		}
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	s := NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Free(Addr(4096))
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(256)
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	s.CopyIn(a, src)
+	dst := make([]byte, 256)
+	s.CopyOut(a, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestBytesOutOfRangePanics(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Bytes(a, s.Capacity()+1)
+}
+
+func TestCoalescing(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(64)
+	b := s.Alloc(64)
+	c := s.Alloc(64)
+	s.Free(a)
+	s.Free(c)
+	s.Free(b) // middle free must merge all three
+	if len(s.free) != 1 {
+		t.Fatalf("free list has %d spans, want 1: %v", len(s.free), s.free)
+	}
+	// A large allocation should now fit in the coalesced span.
+	d := s.Alloc(192)
+	if d != a {
+		t.Fatalf("coalesced span not reused: %v vs %v", d, a)
+	}
+}
+
+func TestUsedAccounting(t *testing.T) {
+	s := NewSpace()
+	if s.Used() != 0 {
+		t.Fatal("fresh space not empty")
+	}
+	a := s.Alloc(100)
+	used := s.Used()
+	if used < 100 {
+		t.Fatalf("used=%d", used)
+	}
+	s.Free(a)
+	if s.Used() != 0 {
+		t.Fatalf("used=%d after free", s.Used())
+	}
+}
+
+func TestAllocZeroLength(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(0)
+	b := s.Alloc(0)
+	if a == Nil || b == Nil || a == b {
+		t.Fatal("zero-length allocations must be unique and valid")
+	}
+}
+
+// Property: a randomized alloc/free workload never yields overlapping live
+// blocks, and used-byte accounting stays consistent.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSpace()
+		type block struct {
+			addr Addr
+			size int
+		}
+		var live []block
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op/3) % len(live)
+				s.Free(live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				n := int(op%500) + 1
+				a := s.Alloc(n)
+				live = append(live, block{a, n})
+			}
+		}
+		// No two live blocks overlap.
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				ai, ae := uint64(live[i].addr), uint64(live[i].addr)+uint64(s.SizeOf(live[i].addr))
+				bi, be := uint64(live[j].addr), uint64(live[j].addr)+uint64(s.SizeOf(live[j].addr))
+				if ai < be && bi < ae {
+					return false
+				}
+			}
+		}
+		return s.LiveAllocs() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8 * 16)
+	src := make([]float64, 16)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	s.WriteFloat64s(a, src)
+	dst := make([]float64, 16)
+	s.ReadFloat64s(a, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("elem %d: %v != %v", i, dst[i], src[i])
+		}
+	}
+	s.SetFloat64(a, 3.25)
+	if s.GetFloat64(a) != 3.25 {
+		t.Fatal("scalar round trip failed")
+	}
+}
+
+func TestAddFloat64s(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8 * 4)
+	s.WriteFloat64s(a, []float64{1, 2, 3, 4})
+	incoming := NewSpace()
+	b := incoming.Alloc(8 * 4)
+	incoming.WriteFloat64s(b, []float64{10, 20, 30, 40})
+	AddFloat64s(s.Bytes(a, 32), incoming.Bytes(b, 32), 0.5)
+	got := make([]float64, 4)
+	s.ReadFloat64s(a, got)
+	want := []float64{6, 12, 18, 24}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInt64Accessors(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8)
+	s.SetInt64(a, -12345)
+	if s.GetInt64(a) != -12345 {
+		t.Fatal("int64 round trip failed")
+	}
+}

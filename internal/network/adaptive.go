@@ -1,0 +1,69 @@
+package network
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// traverseAdaptive walks a minimal path from src to dst, choosing at each
+// router the pending dimension whose egress link frees earliest — the
+// dynamic-routing mode the BG/Q hardware supports but the paper-era
+// software did not expose. It reserves links exactly like the
+// deterministic path and returns the tail arrival time.
+func (nw *Network) traverseAdaptive(srcNode, dstNode int, head, ser sim.Time) sim.Time {
+	t := nw.torus
+	cur := t.CoordOf(srcNode)
+	dst := t.CoordOf(dstNode)
+
+	// Remaining signed steps per dimension (shortest direction, fixed at
+	// injection like the hardware's hint bits).
+	var rem [topology.NumDims]int
+	for d := 0; d < topology.NumDims; d++ {
+		rem[d] = dimDelta(cur[d], dst[d], t.Dims[d])
+	}
+
+	for {
+		bestDim := -1
+		var bestFree sim.Time
+		node := t.NodeIndex(cur)
+		for d := 0; d < topology.NumDims; d++ {
+			if rem[d] == 0 {
+				continue
+			}
+			l := topology.Link{From: node, Dim: d, Plus: rem[d] > 0}
+			free := nw.linkFree[l.ID()]
+			if bestDim < 0 || free < bestFree {
+				bestDim, bestFree = d, free
+			}
+		}
+		if bestDim < 0 {
+			return head + ser
+		}
+		step := 1
+		if rem[bestDim] < 0 {
+			step = -1
+		}
+		l := topology.Link{From: node, Dim: bestDim, Plus: step > 0}
+		if bestFree > head {
+			head = bestFree
+		}
+		nw.linkFree[l.ID()] = head + ser
+		head += nw.params.HopLatency
+		cur[bestDim] = ((cur[bestDim]+step)%t.Dims[bestDim] + t.Dims[bestDim]) % t.Dims[bestDim]
+		rem[bestDim] -= step
+	}
+}
+
+// dimDelta mirrors topology's internal shortest-step helper; kept here so
+// the adaptive router needs no new exported topology surface.
+func dimDelta(a, b, extent int) int {
+	fwd := ((b - a) + extent) % extent
+	bwd := extent - fwd
+	if fwd == 0 {
+		return 0
+	}
+	if fwd <= bwd {
+		return fwd
+	}
+	return -bwd
+}

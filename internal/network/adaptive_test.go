@@ -1,0 +1,79 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// hotspot drives many concurrent large transfers into one node and
+// returns the makespan.
+func hotspotMakespan(t *testing.T, adaptive bool) sim.Time {
+	t.Helper()
+	k := sim.NewKernel()
+	tor := topology.New([topology.NumDims]int{4, 4, 4, 1, 1}, 1)
+	p := DefaultParams()
+	p.AdaptiveRouting = adaptive
+	nw := New(k, tor, p)
+	const size = 256 * 1024
+	var last sim.Time
+	k.Spawn("drv", func(th *sim.Thread) {
+		wg := sim.NewWaitGroup(k)
+		// Several sources, same destination: the deterministic DOR paths
+		// funnel into the same final links; adaptive paths spread out.
+		srcs := []int{1, 2, 3, 4, 8, 12, 16, 32, 48, 5, 6, 7}
+		wg.Add(len(srcs))
+		for _, s := range srcs {
+			nw.Send(s, 0, size, Data, func() {
+				if k.Now() > last {
+					last = k.Now()
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return last
+}
+
+func TestAdaptiveRoutingRelievesHotspots(t *testing.T) {
+	det := hotspotMakespan(t, false)
+	ada := hotspotMakespan(t, true)
+	if ada > det {
+		t.Fatalf("adaptive makespan %s worse than deterministic %s",
+			sim.FormatTime(ada), sim.FormatTime(det))
+	}
+}
+
+func TestAdaptiveRouteStaysMinimal(t *testing.T) {
+	// A single uncontended adaptive message must take exactly the
+	// hop-distance time, like the deterministic route.
+	k := sim.NewKernel()
+	tor := topology.New([topology.NumDims]int{4, 4, 2, 2, 2}, 1)
+	p := DefaultParams()
+	p.AdaptiveRouting = true
+	nw := New(k, tor, p)
+	var at sim.Time
+	k.Spawn("drv", func(th *sim.Thread) {
+		done := sim.NewCompletion(k)
+		nw.Send(0, 37, 512, Data, func() { at = k.Now(); done.Finish() })
+		done.Wait(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := nw.OneWayLatency(0, 37, 512, Data)
+	if at != want {
+		t.Fatalf("adaptive uncontended arrival %d != minimal %d", at, want)
+	}
+}
+
+func TestDimDeltaLocal(t *testing.T) {
+	if dimDelta(0, 3, 4) != -1 || dimDelta(1, 3, 4) != 2 || dimDelta(2, 2, 4) != 0 {
+		t.Fatal("dimDelta broken")
+	}
+}

@@ -1,0 +1,187 @@
+// Package network models the Blue Gene/Q interconnect and messaging unit
+// (MU) at message granularity: per-message injection costs, virtual
+// cut-through traversal of the 5-D torus with per-link reservation, and
+// packetization overhead. It also centralizes every machine constant used
+// by the software layers above (PAMI object-creation costs, handler costs),
+// so the whole stack calibrates from one place.
+package network
+
+import "repro/internal/sim"
+
+// Params holds the machine model constants. The defaults reproduce the
+// paper's measured numbers analytically:
+//
+//	get(16 B, adjacent node) = CPUInject + NicMsgOverhead + RouterFixed +
+//	    HopLatency + ser(32 B) + MUTurnaround + NicMsgOverhead + RouterFixed +
+//	    HopLatency + ser(16 B) + UnalignedPenalty + CompletionOverhead
+//	  = 400+650+100+35+48+200+650+100+35+40+120+500 = 2878 ns  (paper: 2.89 µs)
+//
+//	put(16 B) local completion = CPUInject + NicMsgOverhead + ser + pen +
+//	    PutAckFixed + CompletionOverhead = 400+650+160+990+500 = 2700 ns (paper: 2.7 µs)
+//
+//	streamed bandwidth(m) = m / (NicMsgOverhead + NicMsgGap + ser(m)):
+//	    peak(1 MB) = 1774 MB/s   (paper: 1775 MB/s)
+//	    N½ ≈ 2.0 KB              (paper: 2 KB)
+//
+//	per-hop delta = 2·HopLatency = 70 ns round trip (paper: 35 ns/hop/direction)
+type Params struct {
+	// --- wire / messaging unit ---
+
+	// LinkBandwidth is the raw unidirectional torus link rate in bytes/ns
+	// (2 GB/s = 2 bytes/ns).
+	LinkBandwidth float64
+	// PacketPayload is the maximum payload per torus packet (512 B).
+	PacketPayload int
+	// PacketOverhead is the per-packet header/trailer/ack overhead carried
+	// on the wire (64 B, yielding a 1.78 GB/s payload ceiling).
+	PacketOverhead int
+	// HopLatency is the per-hop router traversal time (35 ns).
+	HopLatency sim.Time
+	// RouterFixed is the fixed injection-to-first-router plus
+	// last-router-to-ejection pipeline time, charged once per message
+	// per direction.
+	RouterFixed sim.Time
+	// NicMsgOverhead is the MU per-message descriptor processing time on
+	// the latency path.
+	NicMsgOverhead sim.Time
+	// NicMsgGap is additional per-message MU occupancy (descriptor fetch
+	// from memory) that rate-limits back-to-back streams but is prefetched
+	// (hidden) for isolated messages. It widens N½ without inflating the
+	// single-message latency.
+	NicMsgGap sim.Time
+	// UnalignedPenalty is added to data transfers smaller than
+	// UnalignedThreshold: sub-cache-line payloads take a slower MU path
+	// (the paper's latency dip at 256 B).
+	UnalignedPenalty   sim.Time
+	UnalignedThreshold int
+	// MUTurnaround is the target-MU time to convert an arriving RDMA-get
+	// request into the returning data stream (no CPU involvement).
+	MUTurnaround sim.Time
+
+	// --- software (PAMI / ARMCI) costs ---
+
+	// CPUInject is the per-operation software cost on the initiating
+	// thread: protocol selection, cache lookups, descriptor build.
+	CPUInject sim.Time
+	// CompletionOverhead is the cost of retiring a completion in the
+	// progress engine (callback dispatch, handle update).
+	CompletionOverhead sim.Time
+	// PutAckFixed is the MU injection-complete notification delay that
+	// gates a blocking put's local completion.
+	PutAckFixed sim.Time
+	// AMHandlerCost is charged per active message processed by whichever
+	// thread advances the target context.
+	AMHandlerCost sim.Time
+	// RmwCost is the additional cost of executing a read-modify-write in
+	// an AM handler (load, op, store on the counter).
+	RmwCost sim.Time
+	// AccByteCost is the per-byte cost of target-side accumulate
+	// (floating-point add into the destination), in ns/byte.
+	AccByteCost float64
+	// PackByteCost is the per-byte cost of packing/unpacking for the
+	// typed-datatype (tall-skinny strided) path, in ns/byte.
+	PackByteCost float64
+	// ProgressWake is the latency for the asynchronous progress thread to
+	// notice and dispatch new work (SMT thread wakeup).
+	ProgressWake sim.Time
+
+	// --- PAMI object creation (Table II) ---
+
+	// ClientCreateTime is the cost of PAMI_Client_create.
+	ClientCreateTime sim.Time
+	// ContextCreateTime is the cost of creating one communication context
+	// (Table II: 3821-4271 µs; jitter spreads the range).
+	ContextCreateTime sim.Time
+	// EndpointCreateTime is β (0.3 µs).
+	EndpointCreateTime sim.Time
+	// MemRegionCreateTime is δ (43 µs).
+	MemRegionCreateTime sim.Time
+	// EndpointBytes is α (4 B), MemRegionBytes is γ (8 B), ContextBytes is
+	// ε (the paper lists it as "varies"; 64 KB is representative).
+	EndpointBytes  int
+	MemRegionBytes int
+	ContextBytes   int
+	// BarrierLatency is the hardware collective-network barrier cost.
+	BarrierLatency sim.Time
+
+	// JitterFrac perturbs software costs by ±frac for realistic texture;
+	// the perturbation is drawn from per-process deterministic RNGs.
+	JitterFrac float64
+
+	// AdaptiveRouting is a what-if switch: the BG/Q hardware supports
+	// dynamic routing but the software interfaces at the paper's
+	// submission exposed only deterministic dimension-order routes. When
+	// true, each message corrects its dimensions in the order that avoids
+	// busy links, spreading contention over more paths. NOTE: adaptive
+	// routing forfeits per-pair FIFO ordering, which the ARMCI fence
+	// protocol relies on — it is exposed for network-layer studies only
+	// and the ARMCI world constructor rejects it.
+	AdaptiveRouting bool
+
+	// HardwareAMO is a what-if switch: when true, read-modify-writes are
+	// executed by the target NIC like RDMA (no target CPU, no progress
+	// engine), modeling the Cray Gemini / InfiniBand style hardware
+	// fetch-and-add the paper's discussion asks future Blue Gene network
+	// hardware for. Blue Gene/Q itself has no such support, so the
+	// default is false.
+	HardwareAMO bool
+}
+
+// DefaultParams returns the calibrated Blue Gene/Q model.
+func DefaultParams() *Params {
+	return &Params{
+		LinkBandwidth:      2.0, // bytes per ns = 2 GB/s
+		PacketPayload:      512,
+		PacketOverhead:     64,
+		HopLatency:         35,
+		RouterFixed:        100,
+		NicMsgOverhead:     650,
+		NicMsgGap:          450,
+		UnalignedPenalty:   120,
+		UnalignedThreshold: 256,
+		MUTurnaround:       200,
+
+		CPUInject:          400,
+		CompletionOverhead: 500,
+		PutAckFixed:        990,
+		AMHandlerCost:      300,
+		RmwCost:            100,
+		AccByteCost:        0.25,
+		PackByteCost:       0.15,
+		ProgressWake:       200,
+
+		ClientCreateTime:    1200 * sim.Microsecond,
+		ContextCreateTime:   4046 * sim.Microsecond,
+		EndpointCreateTime:  300, // 0.3 µs
+		MemRegionCreateTime: 43 * sim.Microsecond,
+		EndpointBytes:       4,
+		MemRegionBytes:      8,
+		ContextBytes:        64 << 10,
+		BarrierLatency:      2500,
+
+		JitterFrac: 0.004,
+	}
+}
+
+// RawBytes returns the on-wire byte count for a payload: the payload plus
+// per-packet protocol overhead.
+func (p *Params) RawBytes(payload int) int {
+	if payload <= 0 {
+		return p.PacketOverhead
+	}
+	packets := (payload + p.PacketPayload - 1) / p.PacketPayload
+	return payload + packets*p.PacketOverhead
+}
+
+// SerTime returns the serialization time of a payload on one link.
+func (p *Params) SerTime(payload int) sim.Time {
+	return sim.Time(float64(p.RawBytes(payload)) / p.LinkBandwidth)
+}
+
+// PeakPayloadBandwidth returns the asymptotic payload bandwidth in MB/s
+// implied by the packetization overhead (the "1.8 GB/s available" ceiling).
+func (p *Params) PeakPayloadBandwidth() float64 {
+	full := float64(p.PacketPayload)
+	raw := float64(p.PacketPayload + p.PacketOverhead)
+	return p.LinkBandwidth * full / raw * 1000 // bytes/ns -> MB/s
+}

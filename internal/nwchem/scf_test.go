@@ -1,0 +1,133 @@
+package nwchem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armci"
+	"repro/internal/sim"
+)
+
+func TestWatersMatchesPaperBasisCount(t *testing.T) {
+	m := Waters(6)
+	if m.NBF != 644 {
+		t.Fatalf("6 waters: %d basis functions, paper uses 644", m.NBF)
+	}
+	if m.Atoms() != 18 {
+		t.Fatalf("6 waters: %d atoms, want 18", m.Atoms())
+	}
+}
+
+func TestPairDecodeBijective(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 18} {
+		seen := make(map[[2]int]bool)
+		total := n * (n + 1) / 2
+		for tIdx := 0; tIdx < total; tIdx++ {
+			i, j := pairDecode(tIdx, n)
+			if i > j || i < 0 || j >= n {
+				t.Fatalf("pairDecode(%d,%d) = (%d,%d) invalid", tIdx, n, i, j)
+			}
+			key := [2]int{i, j}
+			if seen[key] {
+				t.Fatalf("duplicate pair (%d,%d)", i, j)
+			}
+			seen[key] = true
+		}
+		if len(seen) != total {
+			t.Fatalf("n=%d: %d distinct pairs, want %d", n, len(seen), total)
+		}
+	}
+}
+
+func TestTaskDecodeProperty(t *testing.T) {
+	m := Waters(2)
+	nt := m.Tasks()
+	f := func(x uint32) bool {
+		task := int(x) % nt
+		i, j, k, l := m.Task(task)
+		return i <= j && k <= l && j < m.Atoms() && l < m.Atoms()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskCountQuartets(t *testing.T) {
+	m := Waters(6)
+	// 18 atoms -> 171 pairs -> 171*172/2 quartet-block tasks.
+	if m.Pairs() != 171 || m.Tasks() != 14706 {
+		t.Fatalf("pairs=%d tasks=%d", m.Pairs(), m.Tasks())
+	}
+}
+
+func TestIntegralDeterministicAndSmall(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		for j := i; j < 10; j++ {
+			v := integral(i, j, 1, 2)
+			if v != integral(i, j, 1, 2) {
+				t.Fatal("integral not deterministic")
+			}
+			if v < -3 || v > 3 || v != float64(int64(v)) {
+				t.Fatalf("integral(%d,%d,1,2) = %v not a small integer", i, j, v)
+			}
+		}
+	}
+}
+
+// tiny molecule for fast end-to-end SCF runs in tests.
+func tinyMol() *Molecule { return NewMolecule([]int{6, 4, 4, 6, 4, 4}) }
+
+func tinyCfg() Config {
+	return Config{Mol: tinyMol(), Iterations: 2, FlopRate: 1e9}
+}
+
+func TestSCFCompletesAllTasks(t *testing.T) {
+	res := Experiment(armci.Config{Procs: 4, ProcsPerNode: 4, AsyncThread: true}, tinyCfg())
+	want := tinyMol().Tasks() * 2 // two iterations
+	if res.Tasks != want {
+		t.Fatalf("tasks executed = %d, want %d", res.Tasks, want)
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	if res.Energy == 0 {
+		t.Fatal("energy never computed")
+	}
+}
+
+func TestSCFEnergyIdenticalAcrossConfigurations(t *testing.T) {
+	// The synthetic integrals are integer-valued, so the energy must be
+	// bit-identical no matter how tasks interleave: Default vs Async
+	// Thread vs naive consistency must all agree.
+	base := Experiment(armci.Config{Procs: 4, ProcsPerNode: 4, AsyncThread: true}, tinyCfg())
+	configs := []armci.Config{
+		{Procs: 4, ProcsPerNode: 4, AsyncThread: false},
+		{Procs: 4, ProcsPerNode: 4, AsyncThread: true, Consistency: armci.ConsistencyNaive},
+		{Procs: 2, ProcsPerNode: 2, AsyncThread: true},
+		{Procs: 8, ProcsPerNode: 4, AsyncThread: true},
+	}
+	for _, cfg := range configs {
+		res := Experiment(cfg, tinyCfg())
+		if res.Energy != base.Energy {
+			t.Fatalf("energy differs: %v (p=%d async=%v) vs base %v",
+				res.Energy, cfg.Procs, cfg.AsyncThread, base.Energy)
+		}
+	}
+}
+
+func TestSCFAsyncThreadReducesTime(t *testing.T) {
+	// The Fig 11 headline at test scale: AT must beat D, and most of the
+	// win must come out of the counter-wait bucket.
+	cfg := tinyCfg()
+	cfg.FlopRate = 5e8 // longer compute per task exaggerates D stalls
+	d := Experiment(armci.Config{Procs: 8, ProcsPerNode: 4, AsyncThread: false}, cfg)
+	at := Experiment(armci.Config{Procs: 8, ProcsPerNode: 4, AsyncThread: true}, cfg)
+	if at.WallTime >= d.WallTime {
+		t.Fatalf("AT (%s) not faster than D (%s)",
+			sim.FormatTime(at.WallTime), sim.FormatTime(d.WallTime))
+	}
+	if at.CounterWait >= d.CounterWait {
+		t.Fatalf("AT counter wait (%s) not below D (%s)",
+			sim.FormatTime(at.CounterWait), sim.FormatTime(d.CounterWait))
+	}
+}

@@ -1,0 +1,190 @@
+package pami
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// amHeaderBytes is the wire overhead of an active message envelope.
+const amHeaderBytes = 32
+
+// Reserved dispatch ids; user protocols start at DispatchUserBase.
+const (
+	dispatchRmwReq = 0
+	dispatchRmwRep = 1
+
+	// DispatchUserBase is the first dispatch id available to layers above
+	// PAMI (ARMCI claims several).
+	DispatchUserBase = 16
+)
+
+// AMessage is a delivered active message. Hdr carries small scalars
+// (request ids, addresses, sizes); Data carries the payload bytes.
+type AMessage struct {
+	Src      Endpoint // reply address: the sender's (rank, context)
+	Dispatch int
+	Hdr      []int64
+	Data     []byte
+}
+
+// AMHandler processes an active message. It runs on whichever thread
+// advances the target context, with the context lock held — replies sent
+// from the handler therefore occupy the progress engine, exactly as on
+// the real machine.
+type AMHandler func(th *sim.Thread, x *Context, msg *AMessage)
+
+// SendAM sends an active message to dst, to be dispatched on dst's
+// context by whichever thread advances it. The data slice is captured by
+// the network; callers may not mutate it afterwards. Local completion is
+// immediate in the ARMCI sense (the buffer is owned by the runtime once
+// captured), so no completion object is involved.
+func (x *Context) SendAM(th *sim.Thread, dst Endpoint, dispatch int, hdr []int64, data []byte) {
+	c := x.Client
+	p := c.M.P
+	th.Sleep(c.jit(p.CPUInject))
+
+	kind := network.Control
+	if len(data) > 0 {
+		kind = network.Data
+	}
+	msg := &AMessage{
+		Src:      Endpoint{Rank: c.Rank, Ctx: x.Index, Node: c.Node},
+		Dispatch: dispatch,
+		Hdr:      hdr,
+		Data:     data,
+	}
+	tgt := c.peer(dst.Rank).Contexts[dst.Ctx]
+	c.M.Net.Send(c.Node, dst.Node, len(data)+amHeaderBytes, kind, func() {
+		tgt.post(workItem{
+			cost: p.AMHandlerCost,
+			fn: func(th *sim.Thread) {
+				h, ok := tgt.dispatch[msg.Dispatch]
+				if !ok {
+					panic(fmt.Sprintf("pami: rank %d ctx %d: no handler for dispatch %d",
+						dst.Rank, dst.Ctx, msg.Dispatch))
+				}
+				tgt.AMsServed++
+				h(th, tgt, msg)
+			},
+		})
+	})
+}
+
+// RmwOp selects the read-modify-write operation.
+type RmwOp int
+
+const (
+	// FetchAdd atomically adds the operand and returns the prior value —
+	// the load-balance-counter primitive.
+	FetchAdd RmwOp = iota
+	// Swap atomically replaces the value, returning the prior one.
+	Swap
+	// CompareSwap replaces the value with the operand only if the current
+	// value equals compare; returns the prior value either way.
+	CompareSwap
+)
+
+type rmwPending struct {
+	result *int64
+	comp   *sim.Completion
+}
+
+// Rmw performs an atomic read-modify-write on an int64 in dst's memory.
+// BG/Q's network offers no generic atomics, so this is an active-message
+// protocol: it only completes once some thread at the target advances the
+// addressed context — the hardware limitation that motivates the paper's
+// asynchronous progress thread. The prior value is stored in *result and
+// comp is finished when the reply retires on this context.
+func (x *Context) Rmw(th *sim.Thread, dst Endpoint, addr mem.Addr, op RmwOp, operand, compare int64, result *int64, comp *sim.Completion) {
+	c := x.Client
+	if c.M.P.HardwareAMO {
+		x.rmwHardware(th, dst, addr, op, operand, compare, result, comp)
+		return
+	}
+	id := c.rmwSeq
+	c.rmwSeq++
+	c.rmwPend[id] = &rmwPending{result: result, comp: comp}
+	x.SendAM(th, dst, dispatchRmwReq,
+		[]int64{int64(id), int64(addr), int64(op), operand, compare}, nil)
+}
+
+// rmwHardware is the what-if path (Params.HardwareAMO): the target NIC
+// executes the operation at request arrival, exactly like an RDMA-get
+// turnaround — no target CPU, no progress engine, no starvation. This is
+// the Cray Gemini behaviour the paper contrasts against (§IV.B.3).
+func (x *Context) rmwHardware(th *sim.Thread, dst Endpoint, addr mem.Addr, op RmwOp, operand, compare int64, result *int64, comp *sim.Completion) {
+	c := x.Client
+	p := c.M.P
+	th.Sleep(c.jit(p.CPUInject))
+	tgt := c.peer(dst.Rank)
+	net := c.M.Net
+	net.Send(c.Node, dst.Node, rmaControlBytes, network.Control, func() {
+		// NIC-side execute after the MU turnaround; atomicity comes from
+		// the event serialization at the target NIC.
+		c.M.K.At(p.MUTurnaround+p.RmwCost, func() {
+			old := tgt.Space.GetInt64(addr)
+			switch op {
+			case FetchAdd:
+				tgt.Space.SetInt64(addr, old+operand)
+			case Swap:
+				tgt.Space.SetInt64(addr, operand)
+			case CompareSwap:
+				if old == compare {
+					tgt.Space.SetInt64(addr, operand)
+				}
+			}
+			net.SendNIC(dst.Node, c.Node, rmaControlBytes, func() {
+				if result != nil {
+					*result = old
+				}
+				x.postCompletion(comp)
+			})
+		})
+	})
+}
+
+// installBuiltinDispatch wires the PAMI-internal protocols on a new
+// context.
+func (x *Context) installBuiltinDispatch() {
+	x.SetDispatch(dispatchRmwReq, handleRmwReq)
+	x.SetDispatch(dispatchRmwRep, handleRmwRep)
+}
+
+func handleRmwReq(th *sim.Thread, x *Context, msg *AMessage) {
+	c := x.Client
+	th.Sleep(c.jit(c.M.P.RmwCost))
+	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
+	op, operand, compare := RmwOp(msg.Hdr[2]), msg.Hdr[3], msg.Hdr[4]
+
+	old := c.Space.GetInt64(addr)
+	switch op {
+	case FetchAdd:
+		c.Space.SetInt64(addr, old+operand)
+	case Swap:
+		c.Space.SetInt64(addr, operand)
+	case CompareSwap:
+		if old == compare {
+			c.Space.SetInt64(addr, operand)
+		}
+	default:
+		panic(fmt.Sprintf("pami: unknown rmw op %d", op))
+	}
+	x.SendAM(th, msg.Src, dispatchRmwRep, []int64{id, old}, nil)
+}
+
+func handleRmwRep(th *sim.Thread, x *Context, msg *AMessage) {
+	c := x.Client
+	id := uint64(msg.Hdr[0])
+	pend, ok := c.rmwPend[id]
+	if !ok {
+		panic(fmt.Sprintf("pami: rank %d: rmw reply for unknown id %d", c.Rank, id))
+	}
+	delete(c.rmwPend, id)
+	if pend.result != nil {
+		*pend.result = msg.Hdr[1]
+	}
+	pend.comp.Finish()
+}

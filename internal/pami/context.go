@@ -1,0 +1,258 @@
+package pami
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// workItem is a unit of progress-engine work: a completion to retire or an
+// active message to dispatch. The advancing thread sleeps cost, then runs
+// fn while holding the context lock.
+type workItem struct {
+	cost sim.Time
+	fn   func(th *sim.Thread)
+}
+
+// Context is a PAMI communication context: a progress point with its own
+// lock and work queue. Multiple contexts progress independently — the
+// paper's fix for progress-thread lock starvation (§III.D).
+type Context struct {
+	Client *Client
+	Index  int
+	Lock   *sim.Mutex
+
+	queue    []workItem
+	waiters  []*sim.Thread
+	dispatch map[int]AMHandler
+	stopped  bool
+
+	// Statistics.
+	Advances    uint64
+	ItemsServed uint64
+	AMsServed   uint64
+}
+
+func newContext(c *Client, index int) *Context {
+	x := &Context{
+		Client:   c,
+		Index:    index,
+		Lock:     sim.NewMutex(c.M.K),
+		dispatch: make(map[int]AMHandler),
+	}
+	x.installBuiltinDispatch()
+	return x
+}
+
+// SetDispatch installs the handler for a dispatch id. IDs below 16 are
+// reserved for PAMI-internal protocols.
+func (x *Context) SetDispatch(id int, h AMHandler) {
+	if _, dup := x.dispatch[id]; dup {
+		panic(fmt.Sprintf("pami: duplicate dispatch id %d", id))
+	}
+	x.dispatch[id] = h
+}
+
+// post enqueues a work item and wakes every thread parked on this
+// context. Must be called from simulation context (events or threads).
+func (x *Context) post(it workItem) {
+	x.queue = append(x.queue, it)
+	for _, t := range x.waiters {
+		x.Client.M.K.Wake(t)
+	}
+	x.waiters = x.waiters[:0]
+}
+
+// postCompletion enqueues retirement of a local completion.
+func (x *Context) postCompletion(comp *sim.Completion) {
+	x.post(workItem{
+		cost: x.Client.M.P.CompletionOverhead,
+		fn:   func(*sim.Thread) { comp.Finish() },
+	})
+}
+
+// Pending returns the number of queued work items.
+func (x *Context) Pending() int { return len(x.queue) }
+
+// Advance drains the work queue, charging each item's cost to the calling
+// thread. The caller must hold the context lock; this is the PAMI progress
+// engine, and everything that is not pure RDMA sits behind it.
+func (x *Context) Advance(th *sim.Thread) int {
+	if !x.Lock.Held(th) {
+		panic("pami: Advance without holding the context lock")
+	}
+	x.Advances++
+	n := 0
+	for len(x.queue) > 0 {
+		n += x.serve(th, len(x.queue))
+	}
+	x.ItemsServed += uint64(n)
+	return n
+}
+
+// Progress makes one bounded pass over the progress engine: lock, serve
+// the work present at entry, unlock. Like PAMI_Context_advance with a
+// bounded event count, it does NOT chase work that arrives while it is
+// draining — a default-mode main thread that pokes progress between
+// compute chunks returns to compute, which is exactly why remote AMOs
+// starve without an asynchronous thread.
+func (x *Context) Progress(th *sim.Thread) int {
+	x.Lock.Lock(th)
+	x.Advances++
+	n := x.serve(th, len(x.queue))
+	x.ItemsServed += uint64(n)
+	x.Lock.Unlock(th)
+	return n
+}
+
+// serve runs at most max queued items; the caller holds the lock and
+// owns the Advances/ItemsServed accounting.
+func (x *Context) serve(th *sim.Thread, max int) int {
+	n := 0
+	for len(x.queue) > 0 && n < max {
+		it := x.queue[0]
+		x.queue = x.queue[1:]
+		if it.cost > 0 {
+			th.Sleep(it.cost)
+		}
+		it.fn(th)
+		n++
+	}
+	return n
+}
+
+// subscribe registers th to be woken on the next post without parking.
+func (x *Context) subscribe(th *sim.Thread) {
+	x.waiters = append(x.waiters, th)
+}
+
+// WaitLocal drives the progress engine until comp finishes. This is the
+// blocking-operation kernel: the calling thread repeatedly advances its
+// context and parks (releasing the lock!) when there is nothing to do, so
+// other threads — notably an asynchronous progress thread sharing the
+// context — can take the lock in between.
+func (x *Context) WaitLocal(th *sim.Thread, comp *sim.Completion) {
+	x.Lock.Lock(th)
+	for {
+		x.Advance(th)
+		if comp.Done() {
+			break
+		}
+		x.subscribe(th)
+		comp.AddWaiter(th)
+		x.Lock.Unlock(th)
+		th.Park()
+		x.Lock.Lock(th)
+	}
+	x.Lock.Unlock(th)
+}
+
+// WaitAllLocal drives the progress engine until every completion in comps
+// is done.
+func (x *Context) WaitAllLocal(th *sim.Thread, comps []*sim.Completion) {
+	for _, c := range comps {
+		x.WaitLocal(th, c)
+	}
+}
+
+// WaitCond drives the progress engine until pred holds. pred is evaluated
+// with the context lock held; it must be cheap and side-effect free.
+func (x *Context) WaitCond(th *sim.Thread, pred func() bool) {
+	x.Lock.Lock(th)
+	for {
+		x.Advance(th)
+		if pred() {
+			break
+		}
+		x.subscribe(th)
+		x.Lock.Unlock(th)
+		th.Park()
+		x.Lock.Lock(th)
+	}
+	x.Lock.Unlock(th)
+}
+
+// ProgressLoop runs th as an asynchronous progress thread for this
+// context: it drains the work queue whenever traffic arrives and parks in
+// between, paying the SMT-wakeup cost on each dispatch. It returns after
+// StopProgressLoop. This is the paper's §III.D asynchronous thread.
+func (x *Context) ProgressLoop(th *sim.Thread) {
+	p := x.Client.M.P
+	for !x.stopped {
+		x.Lock.Lock(th)
+		x.Advance(th)
+		x.subscribe(th)
+		x.Lock.Unlock(th)
+		if x.stopped {
+			return
+		}
+		th.Park()
+		if x.stopped {
+			return
+		}
+		if p.ProgressWake > 0 {
+			th.Sleep(p.ProgressWake)
+		}
+	}
+}
+
+// Nudge wakes every thread parked on this context without posting work.
+// Collective operations use it so blocked peers re-check predicates that
+// changed outside the work queue.
+func (x *Context) Nudge() {
+	for _, t := range x.waiters {
+		x.Client.M.K.Wake(t)
+	}
+	x.waiters = x.waiters[:0]
+}
+
+// StopProgressLoop terminates ProgressLoop threads parked on this context.
+func (x *Context) StopProgressLoop() {
+	x.stopped = true
+	for _, t := range x.waiters {
+		x.Client.M.K.Wake(t)
+	}
+	x.waiters = x.waiters[:0]
+}
+
+// OpSet aggregates many chunk transfers into a single completion, like the
+// messaging unit's hardware completion counters: individual chunk arrivals
+// cost no CPU, and one completion retires through the progress engine when
+// the last chunk lands.
+type OpSet struct {
+	x         *Context
+	remaining int
+	armed     bool
+	comp      *sim.Completion
+}
+
+// NewOpSet returns an op set whose completion fires after Arm has been
+// called and every added chunk has finished.
+func (x *Context) NewOpSet(comp *sim.Completion) *OpSet {
+	return &OpSet{x: x, comp: comp}
+}
+
+// add registers one more outstanding chunk.
+func (s *OpSet) add() { s.remaining++ }
+
+// done retires one chunk; must be called from simulation context.
+func (s *OpSet) done() {
+	s.remaining--
+	if s.remaining < 0 {
+		panic("pami: OpSet chunk over-completion")
+	}
+	s.maybeFinish()
+}
+
+// Arm declares that no more chunks will be added. If everything already
+// landed, the completion posts immediately.
+func (s *OpSet) Arm() {
+	s.armed = true
+	s.maybeFinish()
+}
+
+func (s *OpSet) maybeFinish() {
+	if s.armed && s.remaining == 0 {
+		s.x.postCompletion(s.comp)
+	}
+}

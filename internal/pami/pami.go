@@ -1,0 +1,154 @@
+// Package pami reimplements the semantics of IBM's Parallel Active
+// Messaging Interface on the simulated Blue Gene/Q machine: clients,
+// communication contexts, endpoints, memory regions, RDMA put/get, active
+// messages, and read-modify-write.
+//
+// The property the paper's results hinge on is modeled exactly: RDMA
+// transfers complete in pure network time with no remote CPU involvement,
+// while active messages and read-modify-writes are only processed when
+// some thread advances the target context's progress engine. BG/Q's
+// network hardware has no generic atomic support, so PAMI Rmw is
+// implemented over active messages and inherits the progress requirement
+// (§III.D of the paper).
+package pami
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Machine ties the simulated processes together: one address space per
+// rank, the shared torus network, and the rank->client registry used to
+// deliver traffic.
+type Machine struct {
+	K   *sim.Kernel
+	Net *network.Network
+	P   *network.Params
+	// SeedBase perturbs every client's jitter stream; runs with different
+	// seeds explore different (still deterministic) timing interleavings.
+	SeedBase uint64
+	spaces   []*mem.Space
+	clients  []*Client
+}
+
+// NewMachine builds a machine for every rank of the torus partition.
+func NewMachine(k *sim.Kernel, torus *topology.Torus, p *network.Params) *Machine {
+	n := torus.Procs()
+	m := &Machine{
+		K:       k,
+		Net:     network.New(k, torus, p),
+		P:       p,
+		spaces:  make([]*mem.Space, n),
+		clients: make([]*Client, n),
+	}
+	for i := range m.spaces {
+		m.spaces[i] = mem.NewSpace()
+	}
+	return m
+}
+
+// Procs returns the number of ranks.
+func (m *Machine) Procs() int { return m.Net.Torus().Procs() }
+
+// Space returns rank's address space.
+func (m *Machine) Space(rank int) *mem.Space { return m.spaces[rank] }
+
+// Client returns rank's PAMI client, or nil before creation.
+func (m *Machine) Client(rank int) *Client { return m.clients[rank] }
+
+// Endpoint addresses a (rank, context) pair, resolved to a node for
+// routing. PAMI endpoints are how every communication operation names its
+// peer.
+type Endpoint struct {
+	Rank int
+	Ctx  int
+	Node int
+}
+
+// Client is a process's PAMI communication client: it owns that process's
+// contexts, memory-region registry, and accounting. One client per rank,
+// as on the real machine.
+type Client struct {
+	M     *Machine
+	Rank  int
+	Node  int
+	Space *mem.Space
+	RNG   *sim.RNG
+
+	Contexts []*Context
+
+	// MaxRegions bounds how many memory regions the process may register;
+	// registration beyond it fails, exercising ARMCI's fallback protocols.
+	// Zero means unlimited.
+	MaxRegions int
+	regions    []*MemRegion
+
+	// Accounting for the Table II space model.
+	EndpointsCreated int
+	EndpointBytes    int
+	RegionBytes      int
+	ContextBytes     int
+
+	rmwSeq  uint64
+	rmwPend map[uint64]*rmwPending
+}
+
+// NewClient creates rank's client, charging the documented creation cost.
+// It must be called from the owning rank's thread before any
+// communication involving that rank.
+func (m *Machine) NewClient(th *sim.Thread, rank int) *Client {
+	if m.clients[rank] != nil {
+		panic(fmt.Sprintf("pami: client for rank %d already exists", rank))
+	}
+	c := &Client{
+		M:       m,
+		Rank:    rank,
+		Node:    m.Net.Torus().NodeOf(rank),
+		Space:   m.spaces[rank],
+		RNG:     sim.NewRNG(m.SeedBase ^ (uint64(rank)*0x9e37 + 1)),
+		rmwPend: make(map[uint64]*rmwPending),
+	}
+	th.Sleep(c.jit(m.P.ClientCreateTime))
+	m.clients[rank] = c
+	return c
+}
+
+// jit perturbs a software cost by the configured jitter fraction.
+func (c *Client) jit(t sim.Time) sim.Time {
+	return c.RNG.Jitter(t, c.M.P.JitterFrac)
+}
+
+// CreateContexts creates n communication contexts, charging the measured
+// 3.8-4.3 ms creation cost for each (Table II).
+func (c *Client) CreateContexts(th *sim.Thread, n int) {
+	for i := 0; i < n; i++ {
+		th.Sleep(c.jit(c.M.P.ContextCreateTime))
+		ctx := newContext(c, len(c.Contexts))
+		c.Contexts = append(c.Contexts, ctx)
+		c.ContextBytes += c.M.P.ContextBytes
+	}
+}
+
+// CreateEndpoint creates an endpoint addressing (rank, ctxIdx), charging
+// β (0.3 µs) and accounting α (4 B). Endpoint creation is local: no
+// traffic is generated.
+func (c *Client) CreateEndpoint(th *sim.Thread, rank, ctxIdx int) Endpoint {
+	th.Sleep(c.jit(c.M.P.EndpointCreateTime))
+	c.EndpointsCreated++
+	c.EndpointBytes += c.M.P.EndpointBytes
+	return Endpoint{Rank: rank, Ctx: ctxIdx, Node: c.M.Net.Torus().NodeOf(rank)}
+}
+
+// peer returns the client owning a rank; communication with a rank whose
+// client does not exist yet is a setup-ordering bug.
+func (c *Client) peer(rank int) *Client {
+	p := c.M.clients[rank]
+	if p == nil {
+		panic(fmt.Sprintf("pami: rank %d has no client yet", rank))
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+package pami
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegisterMemoryForbidden(t *testing.T) {
+	r := newRig(t, 1, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		c.MaxRegions = -1
+		a := c.Space.Alloc(128)
+		if c.RegisterMemory(th, a, 128) != nil {
+			t.Error("registration must fail when forbidden")
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeregisterUnknownIsNoop(t *testing.T) {
+	r := newRig(t, 1, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		a := c.Space.Alloc(128)
+		reg := c.RegisterMemory(th, a, 128)
+		ghost := &MemRegion{Rank: 0, Base: 9999, Size: 1}
+		c.DeregisterMemory(ghost) // not registered: no effect
+		if c.RegionCount() != 1 {
+			t.Errorf("count = %d", c.RegionCount())
+		}
+		c.DeregisterMemory(reg)
+		if c.RegionCount() != 0 {
+			t.Errorf("count = %d after real deregister", c.RegionCount())
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownDispatchPanics(t *testing.T) {
+	r := newRig(t, 2, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		switch c.Rank {
+		case 1:
+			th.Sleep(sim.Millisecond)
+			c.Contexts[0].Progress(th) // dispatching id 99 must panic
+		case 0:
+			ep := c.CreateEndpoint(th, 1, 0)
+			c.Contexts[0].SendAM(th, ep, 99, nil, nil)
+		}
+	})
+	err := r.k.Run()
+	if _, ok := err.(*sim.ThreadPanic); !ok {
+		t.Fatalf("want ThreadPanic, got %v", err)
+	}
+}
+
+func TestDuplicateClientPanics(t *testing.T) {
+	r := newRig(t, 1, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		r.m.NewClient(th, 0)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	r := newRig(t, 3, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		if c.Rank != 0 {
+			return
+		}
+		if r.m.Procs() < 3 {
+			t.Errorf("procs = %d", r.m.Procs())
+		}
+		if r.m.Client(0) != c {
+			t.Error("Client(0) mismatch")
+		}
+		if r.m.Space(1) == nil {
+			t.Error("no space for rank 1")
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSetOverCompletionPanics(t *testing.T) {
+	r := newRig(t, 1, 1, 1)
+	r.spawnAll(1, func(th *sim.Thread, c *Client) {
+		comp := sim.NewCompletion(r.k)
+		set := c.Contexts[0].NewOpSet(comp)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		set.done() // no chunk was ever added
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

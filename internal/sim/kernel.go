@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq), which makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It owns the virtual clock and the
+// event queue, and serializes execution of all simulated threads.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	cur     *Thread
+	threads []*Thread
+	live    int
+	fired   uint64
+	failure *ThreadPanic
+	running bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired returns the number of events executed so far; useful for
+// gauging simulation cost and for replay-determinism checks.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// At schedules fn to run at now+delay. A negative delay panics: causality
+// violations are always bugs in the caller.
+func (k *Kernel) At(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// ThreadPanic is returned by Run when a simulated thread panicked.
+type ThreadPanic struct {
+	Thread string
+	Value  any
+	Stack  string
+}
+
+func (p *ThreadPanic) Error() string {
+	return fmt.Sprintf("sim: thread %q panicked: %v\n%s", p.Thread, p.Value, p.Stack)
+}
+
+// DeadlockError is returned by Run when no events remain but live threads
+// are still blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %s; blocked threads: %s",
+		FormatTime(d.At), strings.Join(d.Blocked, ", "))
+}
+
+// Run executes events until the queue drains. It returns nil when every
+// spawned thread has finished, a DeadlockError when threads remain blocked
+// with nothing scheduled, or a ThreadPanic if a thread panicked.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	if k.live > 0 {
+		var blocked []string
+		for _, t := range k.threads {
+			if t.state != stateDone {
+				blocked = append(blocked, fmt.Sprintf("%s(%s)", t.Name, t.state))
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// transfer hands control from the kernel goroutine to thread t and blocks
+// until t yields back. It must only be called from kernel context (inside
+// an event callback).
+func (k *Kernel) transfer(t *Thread) {
+	if t.state == stateDone {
+		return
+	}
+	t.state = stateRunning
+	k.cur = t
+	t.resume <- struct{}{}
+	<-k.yield
+	k.cur = nil
+	if t.panicked != nil && k.failure == nil {
+		k.failure = t.panicked
+	}
+}
+
+// Current returns the thread currently executing, or nil when the kernel
+// itself (an event callback) is running.
+func (k *Kernel) Current() *Thread { return k.cur }
+
+func init() {
+	// Keep thread stacks small; simulations spawn thousands of them.
+	debug.SetGCPercent(200)
+}

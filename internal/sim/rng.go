@@ -1,0 +1,73 @@
+package sim
+
+import "math"
+
+// RNG is a splitmix64 generator: tiny, fast, and fully deterministic. Every
+// stochastic choice in the simulator draws from a seeded RNG so runs replay
+// exactly.
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator with the given seed. Seed zero is remapped so
+// the generator never degenerates.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac]. It is
+// the standard way the network model perturbs software overheads so that
+// latency curves show realistic texture without losing determinism.
+func (r *RNG) Jitter(base Time, frac float64) Time {
+	if frac <= 0 {
+		return base
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Time(float64(base) * f)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent child generator; handy for giving each
+// simulated process its own stream without cross-coupling.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

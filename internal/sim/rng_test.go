@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedZeroRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("degenerate zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(11)
+	f := func(_ uint8) bool {
+		base := Time(10000)
+		v := r.Jitter(base, 0.05)
+		return v >= 9500 && v <= 10500
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterZeroFrac(t *testing.T) {
+	r := NewRNG(1)
+	if r.Jitter(1234, 0) != 1234 {
+		t.Fatal("zero-frac jitter must be identity")
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	mean := sum / 10000
+	if mean < 4 || mean > 6 {
+		t.Fatalf("mean %.2f far from 5", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(21)
+	c1 := r.Fork()
+	c2 := r.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams identical")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(33)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("not a permutation: %v", xs)
+	}
+}

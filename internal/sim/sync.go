@@ -1,0 +1,217 @@
+package sim
+
+// Cond is a virtual-time condition variable. As with sync.Cond, waiters
+// must re-check their predicate in a loop: Broadcast wakes everything and
+// direct Wakes can cause spurious returns.
+type Cond struct {
+	k       *Kernel
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks t until Signal or Broadcast.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, t)
+	t.Park()
+}
+
+// Signal wakes the longest-waiting thread, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.Wake(t)
+}
+
+// Broadcast wakes every waiting thread.
+func (c *Cond) Broadcast() {
+	for _, t := range c.waiters {
+		c.k.Wake(t)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Mutex is a FIFO virtual-time mutex. Lock order is fair: threads acquire
+// in arrival order, which keeps simulations deterministic and models a
+// ticket lock (the PAMI context locks on BG/Q are effectively fair).
+type Mutex struct {
+	k     *Kernel
+	owner *Thread
+	queue []*Thread
+	// Contended counts lock acquisitions that had to wait; useful for
+	// reasoning about context-lock contention experiments.
+	Contended uint64
+	Acquired  uint64
+}
+
+// NewMutex returns an unlocked mutex bound to k.
+func NewMutex(k *Kernel) *Mutex { return &Mutex{k: k} }
+
+// Lock acquires the mutex, blocking in FIFO order.
+func (m *Mutex) Lock(t *Thread) {
+	m.Acquired++
+	if m.owner == nil {
+		m.owner = t
+		return
+	}
+	m.Contended++
+	m.queue = append(m.queue, t)
+	for m.owner != t {
+		t.Park()
+	}
+}
+
+// TryLock acquires the mutex if it is free, returning whether it did.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.Acquired++
+	m.owner = t
+	return true
+}
+
+// Unlock releases the mutex, handing it to the longest waiter if any.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		panic("sim: unlock of mutex not held by caller")
+	}
+	if len(m.queue) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	m.owner = next
+	m.k.Wake(next)
+}
+
+// Held reports whether t currently owns the mutex.
+func (m *Mutex) Held(t *Thread) bool { return m.owner == t }
+
+// Completion is a one-shot latch: Finish releases all current and future
+// waiters. It is the unit of non-blocking operation tracking throughout
+// the communication stack.
+type Completion struct {
+	k    *Kernel
+	done bool
+	cond Cond
+}
+
+// NewCompletion returns an unfinished completion bound to k.
+func NewCompletion(k *Kernel) *Completion {
+	c := &Completion{k: k}
+	c.cond.k = k
+	return c
+}
+
+// Done reports whether Finish has been called.
+func (c *Completion) Done() bool { return c.done }
+
+// Finish releases all waiters. Finishing twice panics: double completion
+// is always a protocol bug.
+func (c *Completion) Finish() {
+	if c.done {
+		panic("sim: completion finished twice")
+	}
+	c.done = true
+	c.cond.Broadcast()
+}
+
+// Wait blocks t until Finish is called. Returns immediately if already done.
+func (c *Completion) Wait(t *Thread) {
+	for !c.done {
+		c.cond.Wait(t)
+	}
+}
+
+// AddWaiter registers t to be woken when Finish fires, without parking.
+// Used by progress loops that park once while subscribed to several wake
+// sources; spurious wakes are expected and must be handled by re-checking.
+func (c *Completion) AddWaiter(t *Thread) {
+	if c.done {
+		c.k.Wake(t)
+		return
+	}
+	c.cond.waiters = append(c.cond.waiters, t)
+}
+
+// WaitGroup counts outstanding work items in virtual time.
+type WaitGroup struct {
+	k     *Kernel
+	count int
+	cond  Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to k.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	w := &WaitGroup{k: k}
+	w.cond.k = k
+	return w
+}
+
+// Add adjusts the counter by delta; going negative panics.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks t until the counter reaches zero.
+func (w *WaitGroup) Wait(t *Thread) {
+	for w.count != 0 {
+		w.cond.Wait(t)
+	}
+}
+
+// Barrier synchronizes a fixed set of n participants repeatedly.
+type Barrier struct {
+	k     *Kernel
+	n     int
+	count int
+	gen   uint64
+	cond  Cond
+	// Latency is added to each participant's arrival, modeling the cost of
+	// the hardware collective network (BG/Q has a dedicated barrier network).
+	Latency Time
+}
+
+// NewBarrier returns a reusable barrier for n participants.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	b := &Barrier{k: k, n: n}
+	b.cond.k = k
+	return b
+}
+
+// Arrive blocks t until all n participants have arrived, then releases the
+// generation together.
+func (b *Barrier) Arrive(t *Thread) {
+	if b.Latency > 0 {
+		t.Sleep(b.Latency)
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for b.gen == gen {
+		b.cond.Wait(t)
+	}
+}

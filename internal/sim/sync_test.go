@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCondSignalWakesOneInOrder(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	var woke []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		delay := Time(10)
+		if name == "b" {
+			delay = 20
+		}
+		k.Spawn(name, func(th *Thread) {
+			th.Sleep(delay)
+			c.Wait(th)
+			woke = append(woke, name)
+		})
+	}
+	k.Spawn("signaler", func(th *Thread) {
+		th.Sleep(100)
+		c.Signal() // wakes a (longest waiting)
+		th.Sleep(10)
+		c.Signal() // then b
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(woke, "") != "ab" {
+		t.Fatalf("wake order %v", woke)
+	}
+}
+
+func TestCondSignalEmptyIsNoop(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	c.Signal()
+	c.Broadcast()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierLatencyCharged(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 2)
+	b.Latency = 500
+	var released Time
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(th *Thread) {
+			b.Arrive(th)
+			released = th.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 500 {
+		t.Fatalf("released at %d, want 500", released)
+	}
+}
+
+func TestBarrierSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(NewKernel(), 0)
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestCompletionAddWaiterAfterDoneWakes(t *testing.T) {
+	k := NewKernel()
+	c := NewCompletion(k)
+	c.Finish()
+	ran := false
+	k.Spawn("w", func(th *Thread) {
+		c.AddWaiter(th)
+		th.Park() // the AddWaiter on a done completion must have armed a wake
+		ran = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("thread never woken")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	d := &DeadlockError{At: 1500, Blocked: []string{"x(parked)"}}
+	if !strings.Contains(d.Error(), "x(parked)") || !strings.Contains(d.Error(), "deadlock") {
+		t.Fatalf("%q", d.Error())
+	}
+	p := &ThreadPanic{Thread: "t", Value: "boom", Stack: "st"}
+	if !strings.Contains(p.Error(), "boom") || !strings.Contains(p.Error(), `"t"`) {
+		t.Fatalf("%q", p.Error())
+	}
+}
+
+func TestKernelCurrent(t *testing.T) {
+	k := NewKernel()
+	if k.Current() != nil {
+		t.Fatal("current outside run")
+	}
+	var inside *Thread
+	th := k.Spawn("me", func(t2 *Thread) {
+		inside = k.Current()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inside != th {
+		t.Fatal("Current did not report the running thread")
+	}
+}
+
+func TestMutexHeld(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k)
+	k.Spawn("a", func(th *Thread) {
+		if m.Held(th) {
+			t.Error("held before lock")
+		}
+		m.Lock(th)
+		if !m.Held(th) {
+			t.Error("not held after lock")
+		}
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSleepIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(th *Thread) {
+		th.Sleep(0)
+		if th.Now() != 0 {
+			t.Error("zero sleep advanced time")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		th.Sleep(-1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import "runtime/debug"
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateRunning
+	stateSleeping
+	stateParked
+	stateReady
+	stateDone
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateParked:
+		return "parked"
+	case stateReady:
+		return "ready"
+	case stateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Thread is a simulated thread of execution. Exactly one thread (or the
+// kernel) runs at any real-time instant; threads advance virtual time only
+// via Sleep and blocking synchronization.
+type Thread struct {
+	k        *Kernel
+	Name     string
+	resume   chan struct{}
+	state    threadState
+	wakeBit  bool
+	panicked *ThreadPanic
+}
+
+// Spawn creates a thread that begins executing fn at the current virtual
+// time (after already-scheduled same-time events).
+func (k *Kernel) Spawn(name string, fn func(*Thread)) *Thread {
+	t := &Thread{k: k, Name: name, resume: make(chan struct{})}
+	k.threads = append(k.threads, t)
+	k.live++
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				t.panicked = &ThreadPanic{Thread: t.Name, Value: r, Stack: string(debug.Stack())}
+			}
+			t.state = stateDone
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		fn(t)
+	}()
+	k.At(0, func() { k.transfer(t) })
+	return t
+}
+
+// Kernel returns the kernel this thread belongs to.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.k.now }
+
+// switchOut yields to the kernel and blocks until resumed.
+func (t *Thread) switchOut() {
+	t.k.yield <- struct{}{}
+	<-t.resume
+}
+
+// Sleep advances this thread's virtual time by d. Other threads and events
+// run in the meantime. Sleep models busy computation as well as idle
+// waiting; the simulation makes no distinction.
+func (t *Thread) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	t.state = stateSleeping
+	k := t.k
+	k.At(d, func() { k.transfer(t) })
+	t.switchOut()
+}
+
+// Yield reschedules the thread at the current time behind already-pending
+// same-time events.
+func (t *Thread) Yield() {
+	t.state = stateReady
+	k := t.k
+	k.At(0, func() { k.transfer(t) })
+	t.switchOut()
+}
+
+// Park blocks the thread until another thread or event calls Wake on it.
+// Wakes are binary-semaphore-like: a Wake delivered while the thread is
+// running or sleeping makes the next Park return immediately, and multiple
+// Wakes coalesce. Callers must therefore re-check their condition in a loop.
+func (t *Thread) Park() {
+	if t.k.cur != t {
+		panic("sim: Park called from wrong context")
+	}
+	if t.wakeBit {
+		t.wakeBit = false
+		return
+	}
+	t.state = stateParked
+	t.switchOut()
+}
+
+// Wake unparks thread t (or arms its wake bit if it is not parked). Safe to
+// call from any simulation context: another thread or an event callback.
+func (k *Kernel) Wake(t *Thread) {
+	switch t.state {
+	case stateParked:
+		t.state = stateReady
+		k.At(0, func() { k.transfer(t) })
+	case stateDone, stateReady:
+		// Nothing to do: thread finished, or a wake is already in flight.
+	default:
+		t.wakeBit = true
+	}
+}

@@ -1,0 +1,56 @@
+package topology
+
+// FactorNodes factorizes a node count into 5-D torus extents following
+// Blue Gene/Q partitioning conventions:
+//
+//   - the E dimension is at most 2 (it is fixed at 2 in BG/Q hardware);
+//   - remaining factors are spread to keep the torus as cubic as possible,
+//     preferring to grow the middle dimensions (C, then D, then B, then A)
+//     on ties.
+//
+// For 128 nodes this yields 2x2x4x4x2, matching Eq. 10 of the paper
+// (128 = 2(A)·2(B)·4(C)·4(D)·2(E) for the 2048-process half-rack run).
+func FactorNodes(n int) [NumDims]int {
+	if n < 1 {
+		panic("topology: node count must be positive")
+	}
+	dims := [NumDims]int{1, 1, 1, 1, 1}
+	rest := n
+	if rest%2 == 0 {
+		dims[4] = 2
+		rest /= 2
+	}
+	// Tie-break preference order for growing dimensions A..D.
+	pref := []int{2, 3, 1, 0}
+	for _, f := range primeFactorsDesc(rest) {
+		best := -1
+		for _, i := range pref {
+			if best == -1 || dims[i] < dims[best] {
+				best = i
+			}
+		}
+		dims[best] *= f
+	}
+	return dims
+}
+
+// primeFactorsDesc returns the prime factorization of n in descending
+// order, so large factors are placed first and the greedy spread stays
+// balanced.
+func primeFactorsDesc(n int) []int {
+	var asc []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			asc = append(asc, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		asc = append(asc, n)
+	}
+	desc := make([]int, len(asc))
+	for i, f := range asc {
+		desc[len(asc)-1-i] = f
+	}
+	return desc
+}

@@ -1,0 +1,207 @@
+// Package topology models the Blue Gene/Q 5-D torus: node coordinates in
+// the A,B,C,D,E dimensions, the ABCDET process-to-coordinate mapping (T is
+// the within-node hardware-thread dimension and varies fastest), torus hop
+// distances, and deterministic dimension-order routes.
+package topology
+
+import "fmt"
+
+// NumDims is the number of torus dimensions (A..E).
+const NumDims = 5
+
+// DimNames gives the conventional BG/Q dimension names.
+var DimNames = [NumDims]string{"A", "B", "C", "D", "E"}
+
+// Coord is a node coordinate in the 5-D torus.
+type Coord [NumDims]int
+
+// String renders the coordinate as <a,b,c,d,e>.
+func (c Coord) String() string {
+	return fmt.Sprintf("<%d,%d,%d,%d,%d>", c[0], c[1], c[2], c[3], c[4])
+}
+
+// Torus describes a partition: its per-dimension extents and the number of
+// processes placed on each node.
+type Torus struct {
+	Dims         [NumDims]int
+	ProcsPerNode int
+}
+
+// New builds a torus with the given extents and processes per node. Every
+// extent must be at least 1 and ProcsPerNode positive.
+func New(dims [NumDims]int, procsPerNode int) *Torus {
+	for i, d := range dims {
+		if d < 1 {
+			panic(fmt.Sprintf("topology: dimension %s extent %d < 1", DimNames[i], d))
+		}
+	}
+	if procsPerNode < 1 {
+		panic("topology: ProcsPerNode < 1")
+	}
+	return &Torus{Dims: dims, ProcsPerNode: procsPerNode}
+}
+
+// ForProcs builds a torus large enough for p processes at c processes per
+// node, with node count factorized per BG/Q partitioning conventions.
+func ForProcs(p, c int) *Torus {
+	if p < 1 || c < 1 {
+		panic("topology: process counts must be positive")
+	}
+	nodes := (p + c - 1) / c
+	return New(FactorNodes(nodes), c)
+}
+
+// Nodes returns the number of nodes in the partition.
+func (t *Torus) Nodes() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Procs returns the number of process slots in the partition.
+func (t *Torus) Procs() int { return t.Nodes() * t.ProcsPerNode }
+
+// NodeOf returns the node index hosting the given process rank under the
+// ABCDET mapping (T fastest: consecutive ranks fill a node first).
+func (t *Torus) NodeOf(rank int) int {
+	t.checkRank(rank)
+	return rank / t.ProcsPerNode
+}
+
+// ThreadOf returns the within-node slot (the T coordinate) of a rank.
+func (t *Torus) ThreadOf(rank int) int {
+	t.checkRank(rank)
+	return rank % t.ProcsPerNode
+}
+
+func (t *Torus) checkRank(rank int) {
+	if rank < 0 || rank >= t.Procs() {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", rank, t.Procs()))
+	}
+}
+
+// CoordOf returns the coordinate of a node index. Under ABCDET, A varies
+// slowest and E fastest among the node dimensions.
+func (t *Torus) CoordOf(node int) Coord {
+	if node < 0 || node >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, t.Nodes()))
+	}
+	var c Coord
+	for i := NumDims - 1; i >= 0; i-- {
+		c[i] = node % t.Dims[i]
+		node /= t.Dims[i]
+	}
+	return c
+}
+
+// NodeIndex is the inverse of CoordOf.
+func (t *Torus) NodeIndex(c Coord) int {
+	n := 0
+	for i := 0; i < NumDims; i++ {
+		if c[i] < 0 || c[i] >= t.Dims[i] {
+			panic(fmt.Sprintf("topology: coordinate %s out of range", c))
+		}
+		n = n*t.Dims[i] + c[i]
+	}
+	return n
+}
+
+// dimDelta returns the signed shortest step count from a to b in a torus
+// dimension of the given extent. Positive means the +direction; ties pick +.
+func dimDelta(a, b, extent int) int {
+	fwd := ((b - a) + extent) % extent // hops going +
+	bwd := extent - fwd                // hops going -
+	if fwd == 0 {
+		return 0
+	}
+	if fwd <= bwd {
+		return fwd
+	}
+	return -bwd
+}
+
+// Hops returns the torus hop distance between two nodes.
+func (t *Torus) Hops(n1, n2 int) int {
+	c1, c2 := t.CoordOf(n1), t.CoordOf(n2)
+	h := 0
+	for i := 0; i < NumDims; i++ {
+		d := dimDelta(c1[i], c2[i], t.Dims[i])
+		if d < 0 {
+			d = -d
+		}
+		h += d
+	}
+	return h
+}
+
+// RankHops returns the hop distance between the nodes hosting two ranks.
+func (t *Torus) RankHops(r1, r2 int) int {
+	return t.Hops(t.NodeOf(r1), t.NodeOf(r2))
+}
+
+// MaxHops returns the network diameter: the largest hop distance between
+// any two nodes (sum of per-dimension extents halved, torus wrap included).
+func (t *Torus) MaxHops() int {
+	h := 0
+	for _, d := range t.Dims {
+		h += d / 2
+	}
+	return h
+}
+
+// Link identifies a unidirectional torus link: the egress of node From in
+// the given dimension and direction.
+type Link struct {
+	From int // node index
+	Dim  int // 0..4
+	Plus bool
+}
+
+// ID returns a dense unique identifier for the link, suitable for map keys
+// or slice indexing (node*10 + dim*2 + direction).
+func (l Link) ID() int {
+	d := 0
+	if l.Plus {
+		d = 1
+	}
+	return l.From*NumDims*2 + l.Dim*2 + d
+}
+
+// NumLinks returns the number of unidirectional links in the partition.
+func (t *Torus) NumLinks() int { return t.Nodes() * NumDims * 2 }
+
+// Route computes the deterministic dimension-order route from node n1 to
+// node n2 (the BG/Q default at the time of the paper): dimensions are
+// corrected in A,B,C,D,E order, always along the shorter torus direction.
+// The returned slice lists every link traversed; its length equals
+// Hops(n1,n2). Routing a node to itself returns nil.
+func (t *Torus) Route(n1, n2 int) []Link {
+	if n1 == n2 {
+		return nil
+	}
+	cur := t.CoordOf(n1)
+	dst := t.CoordOf(n2)
+	route := make([]Link, 0, t.Hops(n1, n2))
+	for dim := 0; dim < NumDims; dim++ {
+		d := dimDelta(cur[dim], dst[dim], t.Dims[dim])
+		step := 1
+		plus := true
+		if d < 0 {
+			d, step, plus = -d, -1, false
+		}
+		for i := 0; i < d; i++ {
+			route = append(route, Link{From: t.NodeIndex(cur), Dim: dim, Plus: plus})
+			cur[dim] = ((cur[dim]+step)%t.Dims[dim] + t.Dims[dim]) % t.Dims[dim]
+		}
+	}
+	return route
+}
+
+// String describes the partition, e.g. "2x2x4x4x2 (c=16, 2048 procs)".
+func (t *Torus) String() string {
+	return fmt.Sprintf("%dx%dx%dx%dx%d (c=%d, %d procs)",
+		t.Dims[0], t.Dims[1], t.Dims[2], t.Dims[3], t.Dims[4],
+		t.ProcsPerNode, t.Procs())
+}

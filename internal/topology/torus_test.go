@@ -1,0 +1,225 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorNodes128MatchesPaperEq10(t *testing.T) {
+	dims := FactorNodes(128)
+	want := [NumDims]int{2, 2, 4, 4, 2}
+	if dims != want {
+		t.Fatalf("FactorNodes(128) = %v, want %v (paper Eq. 10)", dims, want)
+	}
+}
+
+func TestFactorNodesProduct(t *testing.T) {
+	for n := 1; n <= 1024; n++ {
+		dims := FactorNodes(n)
+		prod := 1
+		for _, d := range dims {
+			prod *= d
+		}
+		if prod != n {
+			t.Fatalf("FactorNodes(%d) = %v, product %d", n, dims, prod)
+		}
+		if dims[4] > 2 {
+			t.Fatalf("FactorNodes(%d): E dimension %d > 2", n, dims[4])
+		}
+	}
+}
+
+func TestFactorNodesOdd(t *testing.T) {
+	dims := FactorNodes(27)
+	prod := 1
+	for _, d := range dims {
+		prod *= d
+	}
+	if prod != 27 || dims[4] != 1 {
+		t.Fatalf("FactorNodes(27) = %v", dims)
+	}
+}
+
+func TestABCDETMapping(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 16)
+	if tor.Nodes() != 128 || tor.Procs() != 2048 {
+		t.Fatalf("nodes=%d procs=%d", tor.Nodes(), tor.Procs())
+	}
+	// Ranks 0..15 share node 0 (T fastest).
+	for r := 0; r < 16; r++ {
+		if tor.NodeOf(r) != 0 {
+			t.Fatalf("rank %d on node %d, want 0", r, tor.NodeOf(r))
+		}
+		if tor.ThreadOf(r) != r {
+			t.Fatalf("rank %d thread %d", r, tor.ThreadOf(r))
+		}
+	}
+	if tor.NodeOf(16) != 1 {
+		t.Fatalf("rank 16 on node %d, want 1", tor.NodeOf(16))
+	}
+	// E varies fastest among node dims: node 1 differs from node 0 in E.
+	c0, c1 := tor.CoordOf(0), tor.CoordOf(1)
+	if c0 != (Coord{0, 0, 0, 0, 0}) || c1 != (Coord{0, 0, 0, 0, 1}) {
+		t.Fatalf("c0=%v c1=%v", c0, c1)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor := New([NumDims]int{3, 2, 4, 5, 2}, 4)
+	for n := 0; n < tor.Nodes(); n++ {
+		if got := tor.NodeIndex(tor.CoordOf(n)); got != n {
+			t.Fatalf("round trip %d -> %d", n, got)
+		}
+	}
+}
+
+func TestHopsSymmetricAndBounded(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 16)
+	f := func(a, b uint16) bool {
+		n1 := int(a) % tor.Nodes()
+		n2 := int(b) % tor.Nodes()
+		h := tor.Hops(n1, n2)
+		return h == tor.Hops(n2, n1) && h >= 0 && h <= tor.MaxHops()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxHops128Nodes(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 16)
+	// Paper: "a maximum distance of (2+2+4+4+2)/2 = 7 is present".
+	if tor.MaxHops() != 7 {
+		t.Fatalf("MaxHops = %d, want 7", tor.MaxHops())
+	}
+	// The diameter is actually achieved by some pair.
+	found := false
+	for n := 0; n < tor.Nodes(); n++ {
+		if tor.Hops(0, n) == 7 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no node at distance 7 from node 0")
+	}
+}
+
+func TestRouteLengthEqualsHops(t *testing.T) {
+	tor := New([NumDims]int{2, 3, 4, 2, 2}, 1)
+	f := func(a, b uint16) bool {
+		n1 := int(a) % tor.Nodes()
+		n2 := int(b) % tor.Nodes()
+		return len(tor.Route(n1, n2)) == tor.Hops(n1, n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteFollowsLinks(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 1)
+	f := func(a, b uint16) bool {
+		n1 := int(a) % tor.Nodes()
+		n2 := int(b) % tor.Nodes()
+		cur := n1
+		for _, l := range tor.Route(n1, n2) {
+			if l.From != cur {
+				return false
+			}
+			c := tor.CoordOf(cur)
+			step := -1
+			if l.Plus {
+				step = 1
+			}
+			c[l.Dim] = ((c[l.Dim]+step)%tor.Dims[l.Dim] + tor.Dims[l.Dim]) % tor.Dims[l.Dim]
+			cur = tor.NodeIndex(c)
+		}
+		return cur == n2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	tor := New([NumDims]int{4, 4, 4, 4, 2}, 1)
+	route := tor.Route(0, tor.NodeIndex(Coord{2, 1, 3, 0, 1}))
+	lastDim := -1
+	for _, l := range route {
+		if l.Dim < lastDim {
+			t.Fatalf("route visits dim %d after dim %d", l.Dim, lastDim)
+		}
+		lastDim = l.Dim
+	}
+}
+
+func TestRouteSelfIsEmpty(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 2, 2, 2}, 1)
+	if r := tor.Route(5, 5); r != nil {
+		t.Fatalf("self route = %v", r)
+	}
+}
+
+func TestLinkIDsUnique(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 2, 2, 2}, 1)
+	seen := make(map[int]bool)
+	for n := 0; n < tor.Nodes(); n++ {
+		for d := 0; d < NumDims; d++ {
+			for _, plus := range []bool{false, true} {
+				id := Link{From: n, Dim: d, Plus: plus}.ID()
+				if id < 0 || id >= tor.NumLinks() {
+					t.Fatalf("link id %d out of range", id)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate link id %d", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	if len(seen) != tor.NumLinks() {
+		t.Fatalf("got %d ids, want %d", len(seen), tor.NumLinks())
+	}
+}
+
+func TestDimDeltaShortestPath(t *testing.T) {
+	// extent 4: from 0 to 3 should go one hop in the - direction.
+	if d := dimDelta(0, 3, 4); d != -1 {
+		t.Fatalf("dimDelta(0,3,4) = %d, want -1", d)
+	}
+	if d := dimDelta(0, 2, 4); d != 2 { // tie picks +
+		t.Fatalf("dimDelta(0,2,4) = %d, want 2", d)
+	}
+	if d := dimDelta(1, 1, 4); d != 0 {
+		t.Fatalf("dimDelta(1,1,4) = %d, want 0", d)
+	}
+}
+
+func TestForProcs(t *testing.T) {
+	tor := ForProcs(2048, 16)
+	if tor.Nodes() != 128 || tor.Procs() != 2048 {
+		t.Fatalf("ForProcs(2048,16): %v", tor)
+	}
+	tor = ForProcs(100, 16) // non-exact: rounds nodes up
+	if tor.Nodes() != 7 || tor.Procs() < 100 {
+		t.Fatalf("ForProcs(100,16): %v", tor)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New([NumDims]int{0, 1, 1, 1, 1}, 1) },
+		func() { New([NumDims]int{1, 1, 1, 1, 1}, 0) },
+		func() { ForProcs(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace is a lightweight, allocation-bounded event recorder for
+// the simulation stack: protocol layers append typed records into a ring
+// buffer, and tools render time-ordered views for debugging protocol
+// interleavings (who advanced which context when, which path a transfer
+// took). Tracing is off unless a Recorder is installed, and costs nothing
+// in virtual time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies trace records.
+type Kind uint8
+
+const (
+	// RDMA marks a one-sided transfer (put/get data movement).
+	RDMA Kind = iota
+	// AM marks an active-message send or dispatch.
+	AM
+	// Progress marks a progress-engine pass.
+	Progress
+	// Fence marks synchronization operations.
+	Fence
+	// App marks application-level annotations.
+	App
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RDMA:
+		return "rdma"
+	case AM:
+		return "am"
+	case Progress:
+		return "progress"
+	case Fence:
+		return "fence"
+	case App:
+		return "app"
+	}
+	return "?"
+}
+
+// Record is one trace entry.
+type Record struct {
+	At   sim.Time
+	Rank int
+	Kind Kind
+	What string
+	Arg  int64
+}
+
+// Recorder collects records into a fixed-capacity ring per rank, so long
+// simulations keep the most recent window instead of exhausting memory.
+type Recorder struct {
+	cap   int
+	rings map[int][]Record
+	heads map[int]int
+	total uint64
+}
+
+// NewRecorder builds a recorder keeping up to perRank records per rank.
+func NewRecorder(perRank int) *Recorder {
+	if perRank <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Recorder{
+		cap:   perRank,
+		rings: make(map[int][]Record),
+		heads: make(map[int]int),
+	}
+}
+
+// Add appends a record for rank.
+func (r *Recorder) Add(at sim.Time, rank int, kind Kind, what string, arg int64) {
+	rec := Record{At: at, Rank: rank, Kind: kind, What: what, Arg: arg}
+	ring := r.rings[rank]
+	if len(ring) < r.cap {
+		r.rings[rank] = append(ring, rec)
+	} else {
+		ring[r.heads[rank]] = rec
+		r.heads[rank] = (r.heads[rank] + 1) % r.cap
+	}
+	r.total++
+}
+
+// Total returns how many records were ever added (including evicted).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Snapshot returns all retained records in (time, rank) order.
+func (r *Recorder) Snapshot() []Record {
+	var out []Record
+	for _, ring := range r.rings {
+		out = append(out, ring...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Filter returns retained records of one kind, time-ordered.
+func (r *Recorder) Filter(kind Kind) []Record {
+	var out []Record
+	for _, rec := range r.Snapshot() {
+		if rec.Kind == kind {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained window as a time-ordered log.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, rec := range r.Snapshot() {
+		fmt.Fprintf(w, "%12s  r%-4d %-8s %s (%d)\n",
+			sim.FormatTime(rec.At), rec.Rank, rec.Kind, rec.What, rec.Arg)
+	}
+}

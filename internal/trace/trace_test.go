@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrdersSnapshot(t *testing.T) {
+	r := NewRecorder(16)
+	r.Add(300, 1, RDMA, "put", 64)
+	r.Add(100, 0, AM, "rmw", 1)
+	r.Add(200, 2, Progress, "advance", 3)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	if snap[0].At != 100 || snap[1].At != 200 || snap[2].At != 300 {
+		t.Fatalf("order: %+v", snap)
+	}
+}
+
+func TestRecorderRingEvicts(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Add(int64(i), 0, App, "x", int64(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d, want 4", len(snap))
+	}
+	// The most recent four survive.
+	for _, rec := range snap {
+		if rec.Arg < 6 {
+			t.Fatalf("old record survived: %+v", rec)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestFilterAndDump(t *testing.T) {
+	r := NewRecorder(16)
+	r.Add(1, 0, RDMA, "get", 16)
+	r.Add(2, 0, Fence, "fence", 1)
+	r.Add(3, 1, RDMA, "put", 32)
+	if got := r.Filter(RDMA); len(got) != 2 {
+		t.Fatalf("rdma records = %d", len(got))
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"rdma", "fence", "get", "put"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{RDMA: "rdma", AM: "am", Progress: "progress",
+		Fence: "fence", App: "app", Kind(99): "?"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecorder(0)
+}
