@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench figures report scf clean
+.PHONY: all test vet check bench figures report scf clean
 
 all: vet test
 
@@ -15,6 +15,11 @@ test:
 # Short mode skips the multi-minute paper-scale integration runs.
 test-short:
 	$(GO) test -short ./...
+
+# CI gate: vet plus the short suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -short -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -30,10 +35,11 @@ scf:
 	mkdir -p results
 	$(GO) run ./cmd/scf -procs 1024,2048,4096 -iters 1 | tee results/fig11.txt
 
-# One-minute reduced-scale audit of the whole reproduction.
+# One-minute reduced-scale audit of the whole reproduction, plus the
+# aggregated metrics dump (render with `go run ./cmd/obs-report`).
 report:
 	mkdir -p results
-	$(GO) run ./cmd/report | tee results/report.md
+	$(GO) run ./cmd/report -metrics results/metrics.txt | tee results/report.md
 
 clean:
 	rm -rf results

@@ -8,6 +8,9 @@
 //	armci-bench -fig 3           # one figure
 //	armci-bench -fig 9 -quick    # reduced process counts
 //	armci-bench -csv             # CSV instead of aligned text
+//	armci-bench -fig 5 -trace out.json -metrics out.txt
+//	                             # also capture a Perfetto-loadable
+//	                             # timeline and a metrics dump
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,7 +27,15 @@ func main() {
 		"figure to regenerate: 3,4,5,6,7,8,9,eq,ctx,cons,strided,route,hw or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	quick := flag.Bool("quick", false, "reduced sizes/process counts")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON (Perfetto) to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics dump to this file")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *tracePath != "" || *metricsPath != "" {
+		reg = obs.New()
+		bench.SetObs(reg)
+	}
 
 	sizes := bench.PowersOfTwo(4, 20) // 16 B .. 1 MB, the paper's range
 	iters := 20
@@ -89,5 +101,33 @@ func main() {
 			counts = append(counts, 512)
 		}
 		render(bench.AblationHardwareAMO(counts, 10))
+	}
+
+	writeObs(reg, *tracePath, *metricsPath)
+}
+
+// writeObs dumps the registry's trace and metrics to the requested files.
+func writeObs(reg *obs.Registry, tracePath, metricsPath string) {
+	if reg == nil {
+		return
+	}
+	emit := func(path string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "armci-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		emit(tracePath, func(f *os.File) error { return reg.WriteChromeTrace(f) })
+	}
+	if metricsPath != "" {
+		emit(metricsPath, func(f *os.File) error { return reg.WriteMetrics(f) })
 	}
 }

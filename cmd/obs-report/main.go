@@ -1,0 +1,197 @@
+// Command obs-report renders the metrics dump produced by the -metrics
+// flag of cmd/armci-bench and cmd/report as a readable per-layer summary:
+// one table per layer (armci, pami, network, sim) with labeled series
+// aggregated under their base metric name, plus the top-N hottest torus
+// links by busy time with their utilization of the simulated run.
+//
+// Usage:
+//
+//	armci-bench -fig 5 -metrics results/metrics.txt
+//	obs-report -metrics results/metrics.txt -top 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one aggregated base-name series: counters sum across labeled
+// series, gauges keep the max, histograms merge count and sum.
+type metric struct {
+	kind   string // "counter", "gauge", "hist"
+	series int
+	value  int64  // counter sum or gauge max
+	count  uint64 // hist observations
+	sum    int64  // hist total
+}
+
+func main() {
+	path := flag.String("metrics", "results/metrics.txt", "metrics dump to read")
+	topN := flag.Int("top", 10, "how many hottest links to list")
+	flag.Parse()
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs-report: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	agg := map[string]*metric{} // base name -> aggregate
+	linkBusy := map[int]int64{} // link id -> busy ns
+	var finalNS int64
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		kind, name, rest, ok := splitLine(sc.Text())
+		if !ok {
+			continue
+		}
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base = name[:i]
+		}
+		m := agg[base]
+		if m == nil {
+			m = &metric{kind: kind}
+			agg[base] = m
+		}
+		m.series++
+		switch kind {
+		case "counter", "gauge":
+			v, _ := strconv.ParseInt(rest, 10, 64)
+			if kind == "counter" {
+				m.value += v
+			} else if m.series == 1 || v > m.value {
+				m.value = v
+			}
+		case "hist":
+			for _, field := range strings.Fields(rest) {
+				if c, found := strings.CutPrefix(field, "count="); found {
+					n, _ := strconv.ParseUint(c, 10, 64)
+					m.count += n
+				} else if s, found := strings.CutPrefix(field, "sum="); found {
+					v, _ := strconv.ParseInt(s, 10, 64)
+					m.sum += v
+				}
+			}
+		}
+		if name == "sim/final_ns" {
+			finalNS, _ = strconv.ParseInt(rest, 10, 64)
+		}
+		if strings.HasPrefix(name, "network/link.busy_ns{link=") {
+			id, perr := strconv.Atoi(strings.TrimSuffix(name[len("network/link.busy_ns{link="):], "}"))
+			v, _ := strconv.ParseInt(rest, 10, 64)
+			if perr == nil {
+				linkBusy[id] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "obs-report: %v\n", err)
+		os.Exit(1)
+	}
+
+	renderLayers(agg)
+	renderLinks(linkBusy, finalNS, *topN)
+}
+
+// splitLine parses "kind name rest..." from one metrics line; lines that
+// do not start with a known metric kind are skipped.
+func splitLine(line string) (kind, name, rest string, ok bool) {
+	parts := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	if len(parts) != 3 {
+		return "", "", "", false
+	}
+	switch parts[0] {
+	case "counter", "gauge", "hist":
+		return parts[0], parts[1], parts[2], true
+	}
+	return "", "", "", false
+}
+
+func renderLayers(agg map[string]*metric) {
+	layers := map[string][]string{}
+	for base := range agg {
+		layer := base
+		if i := strings.IndexByte(base, '/'); i >= 0 {
+			layer = base[:i]
+		}
+		layers[layer] = append(layers[layer], base)
+	}
+	var names []string
+	for l := range layers {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+
+	fmt.Println("# Observability report")
+	for _, layer := range names {
+		fmt.Printf("\n## %s\n\n", layer)
+		fmt.Println("| metric | kind | series | value |")
+		fmt.Println("|---|---|---:|---|")
+		bases := layers[layer]
+		sort.Strings(bases)
+		for _, base := range bases {
+			m := agg[base]
+			var val string
+			switch m.kind {
+			case "counter":
+				val = fmt.Sprintf("%d", m.value)
+			case "gauge":
+				val = fmt.Sprintf("max %d", m.value)
+			case "hist":
+				if m.count == 0 {
+					val = "count 0"
+				} else if mean := float64(m.sum) / float64(m.count); strings.HasSuffix(base, "_ns") {
+					val = fmt.Sprintf("count %d, mean %.2f us", m.count, mean/1000)
+				} else {
+					val = fmt.Sprintf("count %d, mean %.1f", m.count, mean)
+				}
+			}
+			fmt.Printf("| %s | %s | %d | %s |\n", base, m.kind, m.series, val)
+		}
+	}
+}
+
+func renderLinks(linkBusy map[int]int64, finalNS int64, topN int) {
+	if len(linkBusy) == 0 {
+		return
+	}
+	type lb struct {
+		id   int
+		busy int64
+	}
+	var links []lb
+	for id, busy := range linkBusy {
+		links = append(links, lb{id, busy})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].busy != links[j].busy {
+			return links[i].busy > links[j].busy
+		}
+		return links[i].id < links[j].id
+	})
+	if topN < 0 {
+		topN = 0
+	}
+	if topN > len(links) {
+		topN = len(links)
+	}
+	fmt.Printf("\n## hottest links (top %d of %d active)\n\n", topN, len(links))
+	fmt.Println("| link | busy_us | utilization |")
+	fmt.Println("|---:|---:|---:|")
+	for _, l := range links[:topN] {
+		util := "n/a"
+		if finalNS > 0 {
+			util = fmt.Sprintf("%.2f%%", 100*float64(l.busy)/float64(finalNS))
+		}
+		fmt.Printf("| %d | %.1f | %s |\n", l.id, float64(l.busy)/1000, util)
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/network"
 	"repro/internal/nwchem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,6 +28,16 @@ type check struct {
 }
 
 func main() {
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON (Perfetto) to this file")
+	metricsPath := flag.String("metrics", "", "write the metrics dump to this file")
+	flag.Parse()
+
+	var reg *obs.Registry
+	if *tracePath != "" || *metricsPath != "" {
+		reg = obs.New()
+		bench.SetObs(reg)
+	}
+
 	var checks []check
 	add := func(name, paper, measured string, pass bool) {
 		checks = append(checks, check{name, paper, measured, pass})
@@ -80,8 +92,8 @@ func main() {
 	// --- Fig 11 (reduced: 32 ranks) ---
 	scfg := nwchem.Config{Mol: nwchem.NewMolecule([]int{8, 6, 6, 8, 6, 6}),
 		Iterations: 2, FlopRate: 2e7}
-	d := nwchem.Experiment(armci.Config{Procs: 32, ProcsPerNode: 16}, scfg)
-	at := nwchem.Experiment(armci.Config{Procs: 32, ProcsPerNode: 16, AsyncThread: true}, scfg)
+	d := nwchem.Experiment(armci.Config{Procs: 32, ProcsPerNode: 16, Obs: reg}, scfg)
+	at := nwchem.Experiment(armci.Config{Procs: 32, ProcsPerNode: 16, AsyncThread: true, Obs: reg}, scfg)
 	red := 100 * (1 - float64(at.WallTime)/float64(d.WallTime))
 	add("Fig 11: AT reduces SCF time", "up to 30% @4096",
 		fmt.Sprintf("%.0f%% @32 (counter %.1f -> %.1f ms)", red,
@@ -127,6 +139,29 @@ func main() {
 		fmt.Printf("| %s | %s | %s | %s |\n", c.name, c.paper, c.measured, verdict)
 	}
 	fmt.Printf("\n%d/%d checks passed\n", len(checks)-failures, len(checks))
+
+	if reg != nil {
+		emit := func(path string, write func(*os.File) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = write(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *tracePath != "" {
+			emit(*tracePath, func(f *os.File) error { return reg.WriteChromeTrace(f) })
+		}
+		if *metricsPath != "" {
+			emit(*metricsPath, func(f *os.File) error { return reg.WriteMetrics(f) })
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pami"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -76,6 +77,11 @@ type Config struct {
 	// Trace, when non-nil, records protocol decisions (path taken,
 	// fences, AMOs) into the ring recorder for post-run inspection.
 	Trace *trace.Recorder
+	// Obs, when non-nil, instruments every layer of the stack — sim
+	// thread timelines, network link utilization, PAMI progress-engine
+	// metrics, ARMCI op counts/latencies — into the given registry. Nil
+	// costs one pointer check per instrumentation point.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +141,10 @@ func NewWorld(k *sim.Kernel, cfg Config) *World {
 	tor := topology.ForProcs(cfg.Procs, cfg.ProcsPerNode)
 	m := pami.NewMachine(k, tor, cfg.Params)
 	m.SeedBase = cfg.Seed
+	if cfg.Obs != nil {
+		k.SetObs(cfg.Obs)
+		m.SetObs(cfg.Obs)
+	}
 	svcIdx := 0
 	if cfg.AsyncThread {
 		svcIdx = cfg.Contexts - 1
@@ -156,13 +166,14 @@ func NewWorld(k *sim.Kernel, cfg Config) *World {
 func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
 	for rank := 0; rank < w.Cfg.Procs; rank++ {
 		rank := rank
-		w.K.Spawn(fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
+		t := w.K.Spawn(fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
 			rt := newRuntime(w, th, rank)
 			w.Runtimes[rank] = rt
 			rt.Barrier(th) // all clients exist before any traffic
 			body(th, rt)
 			rt.finalize(th)
 		})
+		t.SetObsTrack(obs.TrackRank)
 	}
 }
 
@@ -235,6 +246,9 @@ type Runtime struct {
 
 	progress *sim.Thread
 	rng      *sim.RNG
+
+	obsOps  *opObs // nil when Config.Obs is nil
+	trackID string // this rank's trace track id ("rank-NNNN")
 }
 
 func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
@@ -256,6 +270,8 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		mutexes: make(map[int]*muState),
 		Stats:   sim.NewCounters(),
 		rng:     sim.NewRNG(w.Cfg.Seed ^ (uint64(rank)*0x5851f42d + 7)),
+		obsOps:  newOpObs(w.Cfg.Obs),
+		trackID: fmt.Sprintf("rank-%04d", rank),
 	}
 	rt.cons = newConsistency(rt, w.Cfg.Consistency)
 	rt.installHandlers()
@@ -265,6 +281,7 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		rt.progress = w.K.Spawn(fmt.Sprintf("async-%04d", rank), func(pt *sim.Thread) {
 			svc.ProgressLoop(pt)
 		})
+		rt.progress.SetObsTrack(obs.TrackProgress)
 	}
 	return rt
 }
@@ -327,10 +344,16 @@ func (rt *Runtime) jit(t sim.Time) sim.Time {
 	return rt.rng.Jitter(t, rt.W.Cfg.Params.JitterFrac)
 }
 
-// tr records a protocol trace event when tracing is enabled.
+// tr records a protocol trace event when tracing is enabled: into the
+// legacy ring recorder and, under the unified registry, as an instant on
+// this rank's trace track (so protocol decisions line up with the
+// thread/link timelines in Perfetto).
 func (rt *Runtime) tr(kind trace.Kind, what string, arg int64) {
 	if rec := rt.W.Cfg.Trace; rec != nil {
 		rec.Add(rt.W.K.Now(), rt.Rank, kind, what, arg)
+	}
+	if r := rt.W.Cfg.Obs; r != nil {
+		r.InstantArg(obs.TrackRank, rt.trackID, what, kind.String(), rt.W.K.Now(), arg)
 	}
 }
 
@@ -348,6 +371,7 @@ func (rt *Runtime) finalize(th *sim.Thread) {
 	rt.WaitAll(th)
 	rt.AllFence(th)
 	rt.Barrier(th)
+	rt.publishStats(rt.W.Cfg.Obs)
 	w := rt.W
 	w.done++
 	if w.done == w.Cfg.Procs {

@@ -91,7 +91,9 @@ func (rt *Runtime) NbPut(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int) *
 // Put is the blocking contiguous put: it returns when the local buffer is
 // reusable (local completion), per ARMCI/MPI buffer-reuse semantics.
 func (rt *Runtime) Put(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int) {
+	t0 := th.Now()
 	rt.NbPut(th, local, dst, n).Wait(th)
+	rt.obsOp(opPut, n, th.Now()-t0)
 }
 
 // NbGet starts a non-blocking contiguous get of n bytes from src into
@@ -122,7 +124,9 @@ func (rt *Runtime) NbGet(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) *
 
 // Get is the blocking contiguous get.
 func (rt *Runtime) Get(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) {
+	t0 := th.Now()
 	rt.NbGet(th, src, local, n).Wait(th)
+	rt.obsOp(opGet, n, th.Now()-t0)
 }
 
 // NbAcc starts a non-blocking accumulate: dst[i] += scale * local[i] over
@@ -149,5 +153,7 @@ func (rt *Runtime) NbAcc(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int, s
 
 // Acc is the blocking accumulate.
 func (rt *Runtime) Acc(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int, scale float64) {
+	t0 := th.Now()
 	rt.NbAcc(th, local, dst, n, scale).Wait(th)
+	rt.obsOp(opAcc, n, th.Now()-t0)
 }

@@ -1,0 +1,105 @@
+package armci
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// obsRun executes a fixed two-rank workload touching every instrumented
+// path (RDMA get/put, accumulate, rmw, strided) with a fresh registry and
+// returns the exported trace and metrics.
+func obsRun(t *testing.T) (traceOut, metricsOut []byte) {
+	t.Helper()
+	reg := obs.New()
+	cfg := Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Obs: reg}
+	MustRun(cfg, func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 1<<16)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, 1<<16)
+		rt.Get(th, a.At(1), local, 4096)
+		rt.Put(th, local, a.At(1), 4096)
+		rt.Acc(th, local, a.At(1), 256, 1.0)
+		rt.FetchAdd(th, a.At(1), 3)
+		rt.PutS(th, local, []int{256}, a.At(1), []int{256}, []int{64, 4})
+		rt.Fence(th, 1)
+	})
+	var tb, mb bytes.Buffer
+	if err := reg.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+func TestObsExportDeterministic(t *testing.T) {
+	t1, m1 := obsRun(t)
+	t2, m2 := obsRun(t)
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("trace JSON differs across identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("metrics dump differs across identical runs")
+	}
+}
+
+func TestObsTraceJSONShape(t *testing.T) {
+	tr, _ := obsRun(t)
+	if !json.Valid(tr) {
+		t.Fatalf("trace is not valid JSON:\n%.500s", tr)
+	}
+	// All three track kinds must be present: rank threads, the async
+	// progress threads, and torus links.
+	for _, want := range []string{`"name":"ranks"`, `"name":"progress"`, `"name":"links"`} {
+		if !bytes.Contains(tr, []byte(want)) {
+			t.Fatalf("trace missing track metadata %s", want)
+		}
+	}
+}
+
+func TestObsMetricsCoverAllLayers(t *testing.T) {
+	_, m := obsRun(t)
+	out := string(m)
+	for _, want := range []string{
+		"counter armci/op.count{op=get,size=le4K} 1",
+		"counter armci/op.count{op=rmw,size=le256} 1",
+		"hist armci/op.latency_ns{op=put}",
+		"counter pami/ctx.advances{rank=0,ctx=0}",
+		"hist pami/am.dispatch_ns{ctx=0}",
+		"gauge pami/ctx.starve_max_ns{rank=1,ctx=0}",
+		"hist pami/ctx.lock.wait_ns{ctx=0}",
+		"counter network/messages",
+		"hist network/link.qdelay_ns",
+		"counter sim/events",
+		"gauge sim/final_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	// The AM dispatch histogram actually saw the acc/rmw traffic.
+	if !strings.Contains(out, "counter armci/acc{rank=0} 1") {
+		t.Fatalf("acc not counted:\n%s", out)
+	}
+}
+
+func TestRunWithoutRegistryStillWorks(t *testing.T) {
+	cfg := Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true}
+	MustRun(cfg, func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 64)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, 64)
+		rt.Get(th, a.At(1), local, 64)
+		rt.FetchAdd(th, a.At(1), 1)
+	})
+}

@@ -16,11 +16,13 @@ import (
 // rmw performs one AMO and returns the prior value.
 func (rt *Runtime) rmw(th *sim.Thread, dst GlobalPtr, op pami.RmwOp, operand, compare int64) int64 {
 	var prev int64
+	t0 := th.Now()
 	comp := sim.NewCompletion(rt.W.K)
 	rt.mainCtx.Rmw(th, rt.epSvc(th, dst.Rank), dst.Addr, op, operand, compare, &prev, comp)
 	rt.mainCtx.WaitLocal(th, comp)
 	rt.Stats.Inc("rmw", 1)
 	rt.tr(trace.AM, "rmw", int64(dst.Rank))
+	rt.obsOp(opRmw, 8, th.Now()-t0)
 	return prev
 }
 

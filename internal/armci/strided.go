@@ -183,7 +183,9 @@ func (rt *Runtime) NbPutS(th *sim.Thread, local mem.Addr, localStrides []int,
 // PutS is the blocking strided put.
 func (rt *Runtime) PutS(th *sim.Thread, local mem.Addr, localStrides []int,
 	dst GlobalPtr, dstStrides []int, counts []int) {
+	t0 := th.Now()
 	rt.NbPutS(th, local, localStrides, dst, dstStrides, counts).Wait(th)
+	rt.obsOp(opPutS, patchBytes(counts), th.Now()-t0)
 }
 
 // NbGetS starts a non-blocking strided get (protocol selection as NbPutS).
@@ -229,7 +231,9 @@ func (rt *Runtime) NbGetS(th *sim.Thread, src GlobalPtr, srcStrides []int,
 // GetS is the blocking strided get.
 func (rt *Runtime) GetS(th *sim.Thread, src GlobalPtr, srcStrides []int,
 	local mem.Addr, localStrides []int, counts []int) {
+	t0 := th.Now()
 	rt.NbGetS(th, src, srcStrides, local, localStrides, counts).Wait(th)
+	rt.obsOp(opGetS, patchBytes(counts), th.Now()-t0)
 }
 
 // NbAccS starts a non-blocking strided accumulate: a single packed active
@@ -260,7 +264,9 @@ func (rt *Runtime) NbAccS(th *sim.Thread, local mem.Addr, localStrides []int,
 // AccS is the blocking strided accumulate.
 func (rt *Runtime) AccS(th *sim.Thread, local mem.Addr, localStrides []int,
 	dst GlobalPtr, dstStrides []int, counts []int, scale float64) {
+	t0 := th.Now()
 	rt.NbAccS(th, local, localStrides, dst, dstStrides, counts, scale).Wait(th)
+	rt.obsOp(opAccS, patchBytes(counts), th.Now()-t0)
 }
 
 // --- strided protocol handlers ---

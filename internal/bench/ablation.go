@@ -23,7 +23,7 @@ func AblationContexts(opsEach int) *Grid {
 		Header: []string{"contexts", "main_get_us", "lock_contended"}}
 	const accBytes = 64 * 1024 // ~16 us of target-side apply time each
 	for _, nCtx := range []int{1, 2} {
-		cfg := armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx}
+		cfg := obsCfg(armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx})
 		lat := sim.NewSeries(false)
 		var contended uint64
 		var done bool
@@ -81,7 +81,7 @@ func AblationHardwareAMO(procCounts []int, opsEach int) *Grid {
 func hardwareAMOPoint(procs, opsEach int) float64 {
 	params := network.DefaultParams()
 	params.HardwareAMO = true
-	cfg := armci.Config{Procs: procs, ProcsPerNode: 1, Params: params}
+	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: 1, Params: params})
 	var doneWorkers int
 	lat := sim.NewSeries(false)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
@@ -112,7 +112,7 @@ func AblationStridedProtocol(l0s []int, total int) *Grid {
 	g := &Grid{Title: "Ablation (SIII.C.2): chunk-list RDMA vs pack/unpack for strided puts",
 		Header: []string{"l0_bytes", "chunks_us", "packed_us"}}
 	measure := func(l0 int, forceTyped bool) float64 {
-		cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true}
+		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
 		if forceTyped {
 			cfg.TypedThreshold = total + 1 // everything takes the packed path
 		} else {
@@ -192,7 +192,7 @@ func AblationConsistency(tiles int) *Grid {
 	g := &Grid{Title: "Ablation (SIII.E): naive cs_tgt vs per-region cs_mr tracking",
 		Header: []string{"mode", "time_ms", "fences", "avoided"}}
 	for _, mode := range []armci.ConsistencyMode{armci.ConsistencyNaive, armci.ConsistencyPerRegion} {
-		cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: mode}
+		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: mode})
 		var elapsed sim.Time
 		var fences, avoided int64
 		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {

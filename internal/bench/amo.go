@@ -20,7 +20,7 @@ func Fig9Point(procs int, async, compute bool, opsEach int) float64 {
 // Fig9PointC is Fig9Point with an explicit processes-per-node placement
 // (the ablations use 1/node to expose target-side serialization).
 func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
-	cfg := armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async}
+	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async})
 	var doneWorkers int
 	lat := sim.NewSeries(false)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {

@@ -8,7 +8,7 @@ import (
 
 // twoProcCfg is the Fig 3-6/8 setup: two processes on adjacent nodes.
 func twoProcCfg() armci.Config {
-	return armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true}
+	return obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
 }
 
 // Fig3 regenerates the contiguous latency figure: blocking get and put
@@ -160,8 +160,8 @@ func Fig6(sizes []int, window int) *Grid {
 func Fig7(procs, perNode, iters, rankStride int) *Grid {
 	g := &Grid{Title: "Fig 7: get latency vs process rank (ABCDET mapping)",
 		Header: []string{"rank", "hops", "latency_us"}}
-	cfg := armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: true,
-		RegionCacheCap: 8} // small cache: the LFU path is part of the story
+	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: true,
+		RegionCacheCap: 8}) // small cache: the LFU path is part of the story
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, 64)
 		if rt.Rank != 0 {

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"repro/internal/armci"
+	"repro/internal/obs"
+)
+
+// registry, when installed via SetObs, is injected into the configuration
+// of every benchmark world so that one registry accumulates metrics and
+// trace tracks across a whole benchmark invocation.
+var registry *obs.Registry
+
+// SetObs installs (or, with nil, removes) the registry future benchmark
+// runs report into.
+func SetObs(r *obs.Registry) { registry = r }
+
+// obsCfg attaches the installed registry to a benchmark configuration;
+// every benchmark builds its Config through this.
+func obsCfg(c armci.Config) armci.Config {
+	c.Obs = registry
+	return c
+}

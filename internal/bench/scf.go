@@ -16,8 +16,8 @@ func Fig11(procCounts []int, scfg nwchem.Config) *Grid {
 		Header: []string{"procs", "D_ms", "AT_ms", "reduction_pct",
 			"D_counter_ms", "AT_counter_ms", "D_get_ms", "AT_get_ms", "compute_ms"}}
 	for _, p := range procCounts {
-		d := nwchem.Experiment(armci.Config{Procs: p, ProcsPerNode: 16, AsyncThread: false}, scfg)
-		at := nwchem.Experiment(armci.Config{Procs: p, ProcsPerNode: 16, AsyncThread: true}, scfg)
+		d := nwchem.Experiment(obsCfg(armci.Config{Procs: p, ProcsPerNode: 16, AsyncThread: false}), scfg)
+		at := nwchem.Experiment(obsCfg(armci.Config{Procs: p, ProcsPerNode: 16, AsyncThread: true}), scfg)
 		red := 100 * (1 - float64(at.WallTime)/float64(d.WallTime))
 		g.AddF(2, float64(p),
 			sim.ToMillis(d.WallTime), sim.ToMillis(at.WallTime), red,

@@ -65,8 +65,8 @@ func EqValidation(sizes []int, iters int) *Grid {
 
 	measure := func(maxRegions int) []float64 {
 		var out []float64
-		cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true,
-			MaxRegions: maxRegions}
+		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true,
+			MaxRegions: maxRegions})
 		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 			a := rt.Malloc(th, sizes[len(sizes)-1])
 			if rt.Rank != 0 {
@@ -100,7 +100,7 @@ func EqValidation(sizes []int, iters int) *Grid {
 
 func measureFallback(sizes []int, iters int) []float64 {
 	var out []float64
-	cfg := armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, MaxRegions: -1}
+	cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, MaxRegions: -1})
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, sizes[len(sizes)-1])
 		if rt.Rank != 0 {

@@ -44,11 +44,7 @@ func (nw *Network) traverseAdaptive(srcNode, dstNode int, head, ser sim.Time) si
 			step = -1
 		}
 		l := topology.Link{From: node, Dim: bestDim, Plus: step > 0}
-		if bestFree > head {
-			head = bestFree
-		}
-		nw.linkFree[l.ID()] = head + ser
-		head += nw.params.HopLatency
+		head = nw.reserveLink(l.ID(), head, ser) + nw.params.HopLatency
 		cur[bestDim] = ((cur[bestDim]+step)%t.Dims[bestDim] + t.Dims[bestDim]) % t.Dims[bestDim]
 		rem[bestDim] -= step
 	}

@@ -1,6 +1,9 @@
 package network
 
 import (
+	"fmt"
+
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -35,6 +38,17 @@ type Network struct {
 	RawBytes   uint64
 	HopsTotal  uint64
 	NicStalled uint64 // messages that waited for the injection MU
+
+	// Observability (all nil when disabled; hot paths pay one nil check).
+	obs       *obs.Registry
+	linkBusy  []*obs.Counter // per-link busy time, created on first use
+	qdelay    *obs.Histogram // per-traversal link queueing delay
+	msgBytes  *obs.Histogram // payload size distribution
+	cMsgs     *obs.Counter
+	cBytes    *obs.Counter
+	cRawBytes *obs.Counter
+	cHops     *obs.Counter
+	cStalled  *obs.Counter
 }
 
 // New builds a network for the given torus partition.
@@ -45,6 +59,68 @@ func New(k *sim.Kernel, t *topology.Torus, p *Params) *Network {
 		params:   p,
 		nicFree:  make([]sim.Time, t.Nodes()),
 		linkFree: make([]sim.Time, t.NumLinks()),
+	}
+}
+
+// SetObs installs the observability registry: per-link busy time and
+// queueing delay, message/byte/hop counters, and one trace track per
+// traversed torus link. A nil registry disables instrumentation.
+func (nw *Network) SetObs(r *obs.Registry) {
+	nw.obs = r
+	if r == nil {
+		nw.linkBusy = nil
+		nw.qdelay, nw.msgBytes = nil, nil
+		nw.cMsgs, nw.cBytes, nw.cRawBytes, nw.cHops, nw.cStalled = nil, nil, nil, nil, nil
+		return
+	}
+	nw.linkBusy = make([]*obs.Counter, nw.torus.NumLinks())
+	nw.qdelay = r.Histogram("network/link.qdelay_ns", obs.DefaultLatencyBounds)
+	nw.msgBytes = r.Histogram("network/msg.bytes", obs.ExpBounds(16, 4, 12))
+	nw.cMsgs = r.Counter("network/messages")
+	nw.cBytes = r.Counter("network/payload_bytes")
+	nw.cRawBytes = r.Counter("network/raw_bytes")
+	nw.cHops = r.Counter("network/hops")
+	nw.cStalled = r.Counter("network/nic.stalled")
+}
+
+// reserveLink books one unidirectional link for ser starting no earlier
+// than head, queueing behind the current reservation, and returns the
+// (possibly delayed) head time. All three traversal paths (deterministic,
+// adaptive, NIC-generated) funnel through it so link accounting is
+// uniform.
+func (nw *Network) reserveLink(id int, head, ser sim.Time) sim.Time {
+	start := head
+	if nw.linkFree[id] > start {
+		start = nw.linkFree[id]
+	}
+	nw.linkFree[id] = start + ser
+	if nw.obs != nil {
+		nw.qdelay.Observe(start - head)
+		c := nw.linkBusy[id]
+		if c == nil {
+			c = nw.obs.Counter(fmt.Sprintf("network/link.busy_ns{link=%d}", id))
+			nw.linkBusy[id] = c
+		}
+		c.Add(ser)
+		nw.obs.SpanArg(obs.TrackLink, fmt.Sprintf("link-%06d", id), "xfer", "net",
+			start, start+ser, ser)
+	}
+	return start
+}
+
+// noteSend records the per-message counters for a payload that traversed
+// hops links.
+func (nw *Network) noteSend(payload, hops int) {
+	nw.Messages++
+	nw.Bytes += uint64(payload)
+	nw.RawBytes += uint64(nw.params.RawBytes(payload))
+	nw.HopsTotal += uint64(hops)
+	if nw.obs != nil {
+		nw.cMsgs.Add(1)
+		nw.cBytes.Add(int64(payload))
+		nw.cRawBytes.Add(int64(nw.params.RawBytes(payload)))
+		nw.cHops.Add(int64(hops))
+		nw.msgBytes.Observe(int64(payload))
 	}
 }
 
@@ -77,6 +153,7 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 		if nw.nicFree[srcNode] > start {
 			start = nw.nicFree[srcNode]
 			nw.NicStalled++
+			nw.cStalled.Add(1)
 		}
 		nw.nicFree[srcNode] = start + p.NicMsgOverhead + p.NicMsgGap + ser
 	}
@@ -98,20 +175,12 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 			head += p.HopLatency
 		}
 		for _, l := range route {
-			id := l.ID()
-			if nw.linkFree[id] > head {
-				head = nw.linkFree[id]
-			}
-			nw.linkFree[id] = head + ser
-			head += p.HopLatency
+			head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 		}
 		arrival = head + ser
 	}
 
-	nw.Messages++
-	nw.Bytes += uint64(payload)
-	nw.RawBytes += uint64(p.RawBytes(payload))
-	nw.HopsTotal += uint64(nw.torus.Hops(srcNode, dstNode))
+	nw.noteSend(payload, nw.torus.Hops(srcNode, dstNode))
 
 	nw.k.At(arrival-now, fn)
 }
@@ -130,17 +199,9 @@ func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 		head += p.HopLatency
 	}
 	for _, l := range route {
-		id := l.ID()
-		if nw.linkFree[id] > head {
-			head = nw.linkFree[id]
-		}
-		nw.linkFree[id] = head + ser
-		head += p.HopLatency
+		head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 	}
-	nw.Messages++
-	nw.Bytes += uint64(payload)
-	nw.RawBytes += uint64(p.RawBytes(payload))
-	nw.HopsTotal += uint64(len(route))
+	nw.noteSend(payload, len(route))
 	nw.k.At(head+ser-now, fn)
 }
 

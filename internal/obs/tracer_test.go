@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryTracerIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Span(TrackRank, "0", "run", 0, 10)
+	r.SpanArg(TrackRank, "0", "run", "cat", 0, 10, 1)
+	r.Instant(TrackRank, "0", "x", 5)
+	r.InstantArg(TrackRank, "0", "x", "cat", 5, 1)
+	if r.Events(TrackRank, nil) != nil {
+		t.Fatal("nil registry returned events")
+	}
+	if r.EventsTotal(TrackRank) != 0 {
+		t.Fatal("nil registry counted events")
+	}
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("nil-registry skeleton is not valid JSON: %q", sb.String())
+	}
+}
+
+func TestTrackRingWraparound(t *testing.T) {
+	r := New(WithTrackCap(4))
+	for i := 0; i < 10; i++ {
+		r.InstantArg(TrackRank, "0", "x", "", Time(i), int64(i))
+	}
+	evs := r.Events(TrackRank, nil)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// The most recent four survive eviction, in time order.
+	for i, e := range evs {
+		if want := int64(6 + i); e.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d", i, e.Arg, want)
+		}
+	}
+	if r.EventsTotal(TrackRank) != 10 {
+		t.Fatalf("total = %d", r.EventsTotal(TrackRank))
+	}
+}
+
+func TestEventsOrderAndFilter(t *testing.T) {
+	r := New()
+	r.Span(TrackRank, "1", "b", 300, 310)
+	r.SpanArg(TrackRank, "0", "a", "net", 100, 110, 7)
+	r.Instant(TrackRank, "2", "c", 200)
+	r.Instant(TrackProgress, "p", "other-kind", 50)
+
+	evs := r.Events(TrackRank, nil)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Name != "a" || evs[1].Name != "c" || evs[2].Name != "b" {
+		t.Fatalf("order: %+v", evs)
+	}
+	if evs[0].Cat != "net" || evs[0].Arg != 7 || evs[0].Instant {
+		t.Fatalf("span fields: %+v", evs[0])
+	}
+	if !evs[1].Instant {
+		t.Fatalf("instant flag: %+v", evs[1])
+	}
+
+	only := r.Events(TrackRank, func(e Event) bool { return e.Cat == "net" })
+	if len(only) != 1 || only[0].Name != "a" {
+		t.Fatalf("filtered: %+v", only)
+	}
+}
+
+// sameTrace populates a registry with a fixed event mix covering all
+// three exported track kinds.
+func sameTrace() *Registry {
+	r := New()
+	r.Span(TrackRank, "rank-0000", "run", 0, 1000)
+	r.SpanArg(TrackRank, "rank-0001", "blocked", "sim", 100, 2500, 0)
+	r.Span(TrackProgress, "async-0000", "advance", 500, 700)
+	r.SpanArg(TrackLink, "link-000001", "xfer", "net", 250, 750, 512)
+	r.Instant(TrackRank, "rank-0000", "wake", 1000)
+	r.InstantArg(TrackRank, "rank-0001", "rmw", "am", 1234, 1)
+	return r
+}
+
+func TestChromeTraceDeterministicAndValid(t *testing.T) {
+	var a, b strings.Builder
+	if err := sameTrace().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sameTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical registries exported different traces")
+	}
+	out := a.String()
+	if !json.Valid([]byte(out)) {
+		t.Fatalf("not valid JSON:\n%s", out)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// All three exported track kinds appear as named processes.
+	kinds := map[string]bool{}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.Pid] = true
+		if e.Ph == "M" && e.Name == "process_name" {
+			kinds[e.Args.Name] = true
+		}
+	}
+	for _, want := range []string{"ranks", "progress", "links"} {
+		if !kinds[want] {
+			t.Fatalf("missing process track %q in:\n%s", want, out)
+		}
+	}
+	if len(pids) < 3 {
+		t.Fatalf("only %d distinct pids", len(pids))
+	}
+}
+
+func TestChromeTraceMicrosecondFormatting(t *testing.T) {
+	r := New()
+	r.Span(TrackRank, "0", "run", 1234567, 1238568) // 1234.567 us, dur 4.001 us
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"ts":1234.567`, `"dur":4.001`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in:\n%s", want, out)
+		}
+	}
+}

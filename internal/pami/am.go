@@ -60,6 +60,7 @@ func (x *Context) SendAM(th *sim.Thread, dst Endpoint, dispatch int, hdr []int64
 	c.M.Net.Send(c.Node, dst.Node, len(data)+amHeaderBytes, kind, func() {
 		tgt.post(workItem{
 			cost: p.AMHandlerCost,
+			am:   true,
 			fn: func(th *sim.Thread) {
 				h, ok := tgt.dispatch[msg.Dispatch]
 				if !ok {
@@ -67,6 +68,7 @@ func (x *Context) SendAM(th *sim.Thread, dst Endpoint, dispatch int, hdr []int64
 						dst.Rank, dst.Ctx, msg.Dispatch))
 				}
 				tgt.AMsServed++
+				tgt.cAMs.Add(1)
 				h(th, tgt, msg)
 			},
 		})

@@ -3,6 +3,7 @@ package pami
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -10,8 +11,10 @@ import (
 // active message to dispatch. The advancing thread sleeps cost, then runs
 // fn while holding the context lock.
 type workItem struct {
-	cost sim.Time
-	fn   func(th *sim.Thread)
+	cost   sim.Time
+	fn     func(th *sim.Thread)
+	posted sim.Time // enqueue time, for dispatch-latency accounting
+	am     bool     // true for active-message dispatches
 }
 
 // Context is a PAMI communication context: a progress point with its own
@@ -31,6 +34,19 @@ type Context struct {
 	Advances    uint64
 	ItemsServed uint64
 	AMsServed   uint64
+
+	// Observability handles (nil when the machine has no registry; every
+	// use is nil-safe or guarded). Counters and the starvation gauge are
+	// keyed per (rank, ctx); the latency histograms aggregate across
+	// ranks per context index to bound cardinality at scale.
+	obs         *obs.Registry
+	cAdvances   *obs.Counter
+	cItems      *obs.Counter
+	cAMs        *obs.Counter
+	hItemWait   *obs.Histogram
+	hAMDispatch *obs.Histogram
+	gStarve     *obs.Gauge
+	lastAdvance sim.Time
 }
 
 func newContext(c *Client, index int) *Context {
@@ -40,8 +56,35 @@ func newContext(c *Client, index int) *Context {
 		Lock:     sim.NewMutex(c.M.K),
 		dispatch: make(map[int]AMHandler),
 	}
+	if r := c.M.Obs; r != nil {
+		x.obs = r
+		rc := fmt.Sprintf("{rank=%d,ctx=%d}", c.Rank, index)
+		x.cAdvances = r.Counter("pami/ctx.advances" + rc)
+		x.cItems = r.Counter("pami/ctx.items_served" + rc)
+		x.cAMs = r.Counter("pami/ctx.ams_served" + rc)
+		x.gStarve = r.Gauge("pami/ctx.starve_max_ns" + rc)
+		xc := fmt.Sprintf("{ctx=%d}", index)
+		x.hItemWait = r.Histogram("pami/ctx.item_wait_ns"+xc, obs.DefaultLatencyBounds)
+		x.hAMDispatch = r.Histogram("pami/am.dispatch_ns"+xc, obs.DefaultLatencyBounds)
+		x.Lock.Instrument(r, "pami/ctx.lock", xc)
+		x.lastAdvance = c.M.K.Now()
+	}
 	x.installBuiltinDispatch()
 	return x
+}
+
+// noteAdvance records one progress-engine pass: the advance counter and
+// the starvation gauge (the longest virtual-time gap this context ever
+// went without being advanced — the signal that a default-mode main
+// thread is starving remote AMOs).
+func (x *Context) noteAdvance() {
+	x.Advances++
+	if x.obs != nil {
+		now := x.Client.M.K.Now()
+		x.cAdvances.Add(1)
+		x.gStarve.SetMax(now - x.lastAdvance)
+		x.lastAdvance = now
+	}
 }
 
 // SetDispatch installs the handler for a dispatch id. IDs below 16 are
@@ -56,6 +99,7 @@ func (x *Context) SetDispatch(id int, h AMHandler) {
 // post enqueues a work item and wakes every thread parked on this
 // context. Must be called from simulation context (events or threads).
 func (x *Context) post(it workItem) {
+	it.posted = x.Client.M.K.Now()
 	x.queue = append(x.queue, it)
 	for _, t := range x.waiters {
 		x.Client.M.K.Wake(t)
@@ -81,12 +125,17 @@ func (x *Context) Advance(th *sim.Thread) int {
 	if !x.Lock.Held(th) {
 		panic("pami: Advance without holding the context lock")
 	}
-	x.Advances++
+	x.noteAdvance()
+	start := th.Now()
 	n := 0
 	for len(x.queue) > 0 {
 		n += x.serve(th, len(x.queue))
 	}
 	x.ItemsServed += uint64(n)
+	if x.obs != nil && n > 0 {
+		x.cItems.Add(int64(n))
+		x.obs.SpanArg(th.ObsTrack(), th.Name, "advance", "pami", start, th.Now(), int64(n))
+	}
 	return n
 }
 
@@ -98,9 +147,14 @@ func (x *Context) Advance(th *sim.Thread) int {
 // starve without an asynchronous thread.
 func (x *Context) Progress(th *sim.Thread) int {
 	x.Lock.Lock(th)
-	x.Advances++
+	x.noteAdvance()
+	start := th.Now()
 	n := x.serve(th, len(x.queue))
 	x.ItemsServed += uint64(n)
+	if x.obs != nil && n > 0 {
+		x.cItems.Add(int64(n))
+		x.obs.SpanArg(th.ObsTrack(), th.Name, "advance", "pami", start, th.Now(), int64(n))
+	}
 	x.Lock.Unlock(th)
 	return n
 }
@@ -112,6 +166,16 @@ func (x *Context) serve(th *sim.Thread, max int) int {
 	for len(x.queue) > 0 && n < max {
 		it := x.queue[0]
 		x.queue = x.queue[1:]
+		if x.obs != nil {
+			wait := th.Now() - it.posted
+			x.hItemWait.Observe(wait)
+			if it.am {
+				// Dispatch latency: arrival at the target context to the
+				// handler actually running — the queueing cost a starved
+				// progress engine inflicts on AMs and AMOs.
+				x.hAMDispatch.Observe(wait)
+			}
+		}
 		if it.cost > 0 {
 			th.Sleep(it.cost)
 		}

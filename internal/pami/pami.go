@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -31,8 +32,12 @@ type Machine struct {
 	// SeedBase perturbs every client's jitter stream; runs with different
 	// seeds explore different (still deterministic) timing interleavings.
 	SeedBase uint64
-	spaces   []*mem.Space
-	clients  []*Client
+	// Obs, when non-nil, receives progress-engine metrics and trace spans
+	// from every context created on this machine. Set via SetObs before
+	// clients are created.
+	Obs     *obs.Registry
+	spaces  []*mem.Space
+	clients []*Client
 }
 
 // NewMachine builds a machine for every rank of the torus partition.
@@ -49,6 +54,13 @@ func NewMachine(k *sim.Kernel, torus *topology.Torus, p *network.Params) *Machin
 		m.spaces[i] = mem.NewSpace()
 	}
 	return m
+}
+
+// SetObs installs the observability registry on the machine and its
+// network. Call before creating clients so contexts pick it up.
+func (m *Machine) SetObs(r *obs.Registry) {
+	m.Obs = r
+	m.Net.SetObs(r)
 }
 
 // Procs returns the number of ranks.

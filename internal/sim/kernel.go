@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // event is a scheduled callback. Events with equal times fire in the order
@@ -49,6 +51,9 @@ type Kernel struct {
 	fired   uint64
 	failure *ThreadPanic
 	running bool
+
+	obs       *obs.Registry
+	obsEvents *obs.Counter
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
@@ -58,6 +63,16 @@ func NewKernel() *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetObs installs the observability registry. All kernel, thread, and
+// mutex instrumentation is a no-op until this is called; nil uninstalls.
+func (k *Kernel) SetObs(r *obs.Registry) {
+	k.obs = r
+	k.obsEvents = r.Counter("sim/events") // nil when r is nil
+}
+
+// Obs returns the installed registry (nil when observability is off).
+func (k *Kernel) Obs() *obs.Registry { return k.obs }
 
 // EventsFired returns the number of events executed so far; useful for
 // gauging simulation cost and for replay-determinism checks.
@@ -112,10 +127,14 @@ func (k *Kernel) Run() error {
 		}
 		k.now = e.at
 		k.fired++
+		k.obsEvents.Add(1)
 		e.fn()
 		if k.failure != nil {
 			return k.failure
 		}
+	}
+	if k.obs != nil {
+		k.obs.Gauge("sim/final_ns").SetMax(k.now)
 	}
 	if k.live > 0 {
 		var blocked []string

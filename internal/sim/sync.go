@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/obs"
+
 // Cond is a virtual-time condition variable. As with sync.Cond, waiters
 // must re-check their predicate in a loop: Broadcast wakes everything and
 // direct Wakes can cause spurious returns.
@@ -46,22 +48,47 @@ type Mutex struct {
 	// reasoning about context-lock contention experiments.
 	Contended uint64
 	Acquired  uint64
+
+	// Instrumentation (nil unless Instrument was called): wait time from
+	// Lock entry to acquisition, hold time from acquisition to Unlock.
+	waitHist   *obs.Histogram
+	holdHist   *obs.Histogram
+	acquiredAt Time
 }
 
 // NewMutex returns an unlocked mutex bound to k.
 func NewMutex(k *Kernel) *Mutex { return &Mutex{k: k} }
+
+// Instrument records this mutex's lock wait and hold time distributions
+// into r as <name>.wait_ns<labels> and <name>.hold_ns<labels>; labels is
+// either empty or a "{k=v,...}" suffix. A nil registry is a no-op.
+func (m *Mutex) Instrument(r *obs.Registry, name, labels string) {
+	if r == nil {
+		return
+	}
+	m.waitHist = r.Histogram(name+".wait_ns"+labels, obs.DefaultLatencyBounds)
+	m.holdHist = r.Histogram(name+".hold_ns"+labels, obs.DefaultLatencyBounds)
+}
 
 // Lock acquires the mutex, blocking in FIFO order.
 func (m *Mutex) Lock(t *Thread) {
 	m.Acquired++
 	if m.owner == nil {
 		m.owner = t
+		if m.waitHist != nil {
+			m.waitHist.Observe(0)
+			m.acquiredAt = m.k.now
+		}
 		return
 	}
 	m.Contended++
+	t0 := m.k.now
 	m.queue = append(m.queue, t)
 	for m.owner != t {
 		t.Park()
+	}
+	if m.waitHist != nil {
+		m.waitHist.Observe(m.k.now - t0)
 	}
 }
 
@@ -72,6 +99,10 @@ func (m *Mutex) TryLock(t *Thread) bool {
 	}
 	m.Acquired++
 	m.owner = t
+	if m.waitHist != nil {
+		m.waitHist.Observe(0)
+		m.acquiredAt = m.k.now
+	}
 	return true
 }
 
@@ -80,6 +111,9 @@ func (m *Mutex) Unlock(t *Thread) {
 	if m.owner != t {
 		panic("sim: unlock of mutex not held by caller")
 	}
+	if m.holdHist != nil {
+		m.holdHist.Observe(m.k.now - m.acquiredAt)
+	}
 	if len(m.queue) == 0 {
 		m.owner = nil
 		return
@@ -87,6 +121,9 @@ func (m *Mutex) Unlock(t *Thread) {
 	next := m.queue[0]
 	m.queue = m.queue[1:]
 	m.owner = next
+	// Ownership transfers now; the waiter's hold time starts here even
+	// though it resumes via an event at the same virtual instant.
+	m.acquiredAt = m.k.now
 	m.k.Wake(next)
 }
 

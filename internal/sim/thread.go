@@ -1,6 +1,10 @@
 package sim
 
-import "runtime/debug"
+import (
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
 
 type threadState int
 
@@ -41,6 +45,7 @@ type Thread struct {
 	state    threadState
 	wakeBit  bool
 	panicked *ThreadPanic
+	track    obs.TrackKind
 }
 
 // Spawn creates a thread that begins executing fn at the current virtual
@@ -68,6 +73,15 @@ func (k *Kernel) Spawn(name string, fn func(*Thread)) *Thread {
 // Kernel returns the kernel this thread belongs to.
 func (t *Thread) Kernel() *Kernel { return t.k }
 
+// SetObsTrack assigns the trace track kind this thread's run/block spans
+// are recorded under (default TrackOther). The spawner sets it before
+// the thread first runs; the ARMCI runtime uses TrackRank for main
+// threads and TrackProgress for asynchronous progress threads.
+func (t *Thread) SetObsTrack(kind obs.TrackKind) { t.track = kind }
+
+// ObsTrack returns the thread's trace track kind.
+func (t *Thread) ObsTrack() obs.TrackKind { return t.track }
+
 // Now returns the current virtual time.
 func (t *Thread) Now() Time { return t.k.now }
 
@@ -89,6 +103,11 @@ func (t *Thread) Sleep(d Time) {
 	}
 	t.state = stateSleeping
 	k := t.k
+	if k.obs != nil {
+		// Sleep models busy computation (and timed waits); record it as
+		// the thread's "run" span on its timeline.
+		k.obs.Span(t.track, t.Name, "run", k.now, k.now+d)
+	}
 	k.At(d, func() { k.transfer(t) })
 	t.switchOut()
 }
@@ -114,8 +133,12 @@ func (t *Thread) Park() {
 		t.wakeBit = false
 		return
 	}
+	start := t.k.now
 	t.state = stateParked
 	t.switchOut()
+	if t.k.obs != nil {
+		t.k.obs.Span(t.track, t.Name, "blocked", start, t.k.now)
+	}
 }
 
 // Wake unparks thread t (or arms its wake bit if it is not parked). Safe to
@@ -124,6 +147,9 @@ func (k *Kernel) Wake(t *Thread) {
 	switch t.state {
 	case stateParked:
 		t.state = stateReady
+		if k.obs != nil {
+			k.obs.Instant(t.track, t.Name, "wake", k.now)
+		}
 		k.At(0, func() { k.transfer(t) })
 	case stateDone, stateReady:
 		// Nothing to do: thread finished, or a wake is already in flight.

@@ -1,16 +1,19 @@
-// Package trace is a lightweight, allocation-bounded event recorder for
-// the simulation stack: protocol layers append typed records into a ring
-// buffer, and tools render time-ordered views for debugging protocol
-// interleavings (who advanced which context when, which path a transfer
-// took). Tracing is off unless a Recorder is installed, and costs nothing
-// in virtual time.
+// Package trace is the legacy protocol-event recorder API, kept for the
+// layers and tests that predate the unified observability registry. It is
+// now a thin shim over internal/obs: records land as instant events on
+// per-rank trace tracks of a private registry, so the ring-buffer
+// retention, ordering, and totals all come from one implementation.
+// Tracing is off unless a Recorder is installed, and costs nothing in
+// virtual time. New code should take an *obs.Registry directly.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -46,6 +49,21 @@ func (k Kind) String() string {
 	return "?"
 }
 
+// kindOf inverts Kind.String for records coming back out of the registry.
+func kindOf(cat string) Kind {
+	switch cat {
+	case "rdma":
+		return RDMA
+	case "am":
+		return AM
+	case "progress":
+		return Progress
+	case "fence":
+		return Fence
+	}
+	return App
+}
+
 // Record is one trace entry.
 type Record struct {
 	At   sim.Time
@@ -57,11 +75,10 @@ type Record struct {
 
 // Recorder collects records into a fixed-capacity ring per rank, so long
 // simulations keep the most recent window instead of exhausting memory.
+// It is backed by a private obs.Registry whose per-track capacity is the
+// per-rank limit.
 type Recorder struct {
-	cap   int
-	rings map[int][]Record
-	heads map[int]int
-	total uint64
+	reg *obs.Registry
 }
 
 // NewRecorder builds a recorder keeping up to perRank records per rank.
@@ -69,36 +86,34 @@ func NewRecorder(perRank int) *Recorder {
 	if perRank <= 0 {
 		panic("trace: non-positive capacity")
 	}
-	return &Recorder{
-		cap:   perRank,
-		rings: make(map[int][]Record),
-		heads: make(map[int]int),
-	}
+	return &Recorder{reg: obs.New(obs.WithTrackCap(perRank))}
 }
 
 // Add appends a record for rank.
 func (r *Recorder) Add(at sim.Time, rank int, kind Kind, what string, arg int64) {
-	rec := Record{At: at, Rank: rank, Kind: kind, What: what, Arg: arg}
-	ring := r.rings[rank]
-	if len(ring) < r.cap {
-		r.rings[rank] = append(ring, rec)
-	} else {
-		ring[r.heads[rank]] = rec
-		r.heads[rank] = (r.heads[rank] + 1) % r.cap
-	}
-	r.total++
+	r.reg.InstantArg(obs.TrackRank, strconv.Itoa(rank), what, kind.String(), at, arg)
 }
 
 // Total returns how many records were ever added (including evicted).
-func (r *Recorder) Total() uint64 { return r.total }
+func (r *Recorder) Total() uint64 { return r.reg.EventsTotal(obs.TrackRank) }
 
-// Snapshot returns all retained records in (time, rank) order.
-func (r *Recorder) Snapshot() []Record {
-	var out []Record
-	for _, ring := range r.rings {
-		out = append(out, ring...)
+// collect converts matching retained events to records in (time, rank)
+// order. Filtering happens before any sorting, so selective views never
+// pay for the full snapshot.
+func (r *Recorder) collect(match func(obs.Event) bool) []Record {
+	evs := r.reg.Events(obs.TrackRank, match)
+	out := make([]Record, 0, len(evs))
+	for _, e := range evs {
+		rank, _ := strconv.Atoi(e.Track)
+		out = append(out, Record{
+			At:   e.Start,
+			Rank: rank,
+			Kind: kindOf(e.Cat),
+			What: e.Name,
+			Arg:  e.Arg,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].At != out[j].At {
 			return out[i].At < out[j].At
 		}
@@ -107,15 +122,15 @@ func (r *Recorder) Snapshot() []Record {
 	return out
 }
 
+// Snapshot returns all retained records in (time, rank) order.
+func (r *Recorder) Snapshot() []Record {
+	return r.collect(nil)
+}
+
 // Filter returns retained records of one kind, time-ordered.
 func (r *Recorder) Filter(kind Kind) []Record {
-	var out []Record
-	for _, rec := range r.Snapshot() {
-		if rec.Kind == kind {
-			out = append(out, rec)
-		}
-	}
-	return out
+	cat := kind.String()
+	return r.collect(func(e obs.Event) bool { return e.Cat == cat })
 }
 
 // Dump renders the retained window as a time-ordered log.
