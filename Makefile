@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench figures report scf clean
+.PHONY: all test vet check bench bench-smoke figures report scf clean
 
 all: vet test
 
@@ -21,8 +21,18 @@ check:
 	$(GO) vet ./...
 	$(GO) test -short -race ./...
 
+# Engine wall-clock benchmarks (the cost of simulating): micro benches
+# plus the reduced Fig 9 p=4096 / SCF scenarios, written to
+# BENCH_sim.json — the committed baseline every perf PR is compared
+# against. The second line runs the per-figure paper benches.
 bench:
+	$(GO) run ./cmd/simbench -out BENCH_sim.json
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# CI gate for the engine: micro benches only; exits non-zero when a
+# zero-allocation invariant (kernel At/Run, network Send) regresses.
+bench-smoke:
+	$(GO) run ./cmd/simbench -smoke -out ''
 
 # Regenerate every figure/table at full scale into results/.
 figures:

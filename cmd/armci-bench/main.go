@@ -17,12 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
 func main() {
+	// Full-figure sweeps run many multi-thousand-event simulations
+	// back-to-back; a higher GOGC trades heap headroom for fewer GC
+	// cycles. Set here in the driver: library packages must not mutate
+	// process-global GC state (internal/sim once did, from an init).
+	debug.SetGCPercent(200)
+
 	fig := flag.String("fig", "all",
 		"figure to regenerate: 3,4,5,6,7,8,9,eq,ctx,cons,strided,route,hw or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")

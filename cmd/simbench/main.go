@@ -1,0 +1,339 @@
+// Command simbench measures the wall-clock cost of *simulating* — the
+// engine's hot paths, not the simulated machine's performance — and
+// writes the results to BENCH_sim.json at the repo root. It is the
+// committed baseline every performance PR is compared against.
+//
+// Two tiers:
+//
+//   - micro benches (kernel event throughput, coroutine switch, network
+//     send, ARMCI blocking get) run under testing.Benchmark and report
+//     ns/op + allocs/op;
+//   - scenario benches (the Fig 9 p=4096 load-balance-counter
+//     micro-kernel and a reduced-scale SCF iteration) time one full
+//     simulation per op, best-of-N wall clock.
+//
+// -smoke runs only the micro benches and fails (exit 1) when a
+// zero-allocation invariant regresses; CI runs it on every push.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/armci"
+	"repro/internal/bench"
+	"repro/internal/network"
+	"repro/internal/nwchem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// baselineNs is the pre-optimization wall clock recorded at the commit
+// named by baselineCommit, on the reference machine that produced the
+// committed BENCH_sim.json. Speedup factors in the JSON are measured
+// against these numbers; they are only meaningful on comparable hardware
+// (compare allocs/op, which is machine-independent, everywhere else).
+var baselineNs = map[string]float64{
+	"kernel_events":            53,
+	"kernel_events_zero_delay": 60,
+	"thread_switch":            624,
+	"network_send":             1181,
+	"armci_get":                3903,
+	"fig9_p4096":               5_433_301_440,
+	"scf_reduced":              160_741_867,
+}
+
+// baselineAllocs is the matching allocs/op at the baseline commit.
+var baselineAllocs = map[string]float64{
+	"kernel_events":            1,
+	"kernel_events_zero_delay": 1,
+	"thread_switch":            2,
+	"network_send":             2,
+	"armci_get":                22,
+	"fig9_p4096":               34_583_969,
+	"scf_reduced":              675_600,
+}
+
+const baselineCommit = "pre-PR2 seed (a31ba16)"
+
+type result struct {
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup          float64 `json:"speedup_vs_baseline,omitempty"`
+	Kind             string  `json:"kind"` // "micro" (one op) or "scenario" (one full simulation)
+}
+
+type report struct {
+	Schema         int               `json:"schema"`
+	BaselineCommit string            `json:"baseline_commit"`
+	Note           string            `json:"note"`
+	Benches        map[string]result `json:"benches"`
+}
+
+func skip(name string) bool { return only != nil && !only.MatchString(name) }
+
+// micro runs fn under testing.Benchmark and records ns/op + allocs/op.
+func micro(name string, reps map[string]result, fn func(b *testing.B)) {
+	if skip(name) {
+		return
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	reps[name] = finish(name, "micro", float64(r.NsPerOp()), float64(r.AllocsPerOp()))
+}
+
+// scenario times one full simulation per op: one warm-up run, then
+// best-of-reps wall clock, with allocations read from runtime.MemStats.
+func scenario(name string, reps map[string]result, runs int, fn func()) {
+	if skip(name) {
+		return
+	}
+	fn() // warm-up: route caches, goroutine pool, page faults
+	best := time.Duration(1<<63 - 1)
+	var allocs float64
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		fn()
+		d := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		if d < best {
+			best = d
+			allocs = float64(ms1.Mallocs - ms0.Mallocs)
+		}
+	}
+	reps[name] = finish(name, "scenario", float64(best.Nanoseconds()), allocs)
+}
+
+func finish(name, kind string, ns, allocs float64) result {
+	r := result{NsPerOp: ns, AllocsPerOp: allocs, Kind: kind}
+	if base, ok := baselineNs[name]; ok && base > 0 {
+		r.BaselineNsPerOp = base
+		r.Speedup = base / ns
+	}
+	if base, ok := baselineAllocs[name]; ok {
+		r.BaselineAllocsOp = base
+	}
+	return r
+}
+
+var only *regexp.Regexp
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path (empty: stdout only)")
+	smoke := flag.Bool("smoke", false, "micro benches only; exit 1 on alloc regression")
+	onlyPat := flag.String("only", "", "run only benches matching this regexp")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the selected benches")
+	memProf := flag.String("memprofile", "", "write an allocation profile of the selected benches")
+	flag.Parse()
+	if *onlyPat != "" {
+		only = regexp.MustCompile(*onlyPat)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	// Same GC posture as the full-scale drivers (cmd/scf, cmd/armci-bench)
+	// so scenario wall clocks are comparable with theirs.
+	debug.SetGCPercent(200)
+
+	reps := make(map[string]result)
+
+	// Raw event throughput of the DES kernel: one event schedules the next.
+	micro("kernel_events", reps, func(b *testing.B) {
+		k := sim.NewKernel()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				k.At(1, tick)
+			}
+		}
+		k.At(1, tick)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Zero-delay scheduling: the Spawn/Wake/Yield fast path.
+	micro("kernel_events_zero_delay", reps, func(b *testing.B) {
+		k := sim.NewKernel()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				k.At(0, tick)
+			}
+		}
+		k.At(0, tick)
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Coroutine handoff: kernel -> thread -> kernel per op.
+	micro("thread_switch", reps, func(b *testing.B) {
+		k := sim.NewKernel()
+		k.Spawn("switcher", func(th *sim.Thread) {
+			for i := 0; i < b.N; i++ {
+				th.Sleep(1)
+			}
+		})
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Network message rate across a 128-node torus, observability off.
+	micro("network_send", reps, func(b *testing.B) {
+		k := sim.NewKernel()
+		tor := topology.New([topology.NumDims]int{2, 2, 4, 4, 2}, 1)
+		nw := network.New(k, tor, network.DefaultParams())
+		k.Spawn("src", func(th *sim.Thread) {
+			wg := sim.NewWaitGroup(k)
+			wg.Add(b.N)
+			done := wg.Done
+			for i := 0; i < b.N; i++ {
+				nw.Send(i%128, (i*7)%128, 512, network.Data, done)
+				if i%64 == 0 {
+					th.Sleep(1)
+				}
+			}
+			wg.Wait(th)
+		})
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Full-stack ARMCI blocking get (2 ranks, async thread).
+	micro("armci_get", reps, func(b *testing.B) {
+		armci.MustRun(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true},
+			func(th *sim.Thread, rt *armci.Runtime) {
+				a := rt.Malloc(th, 4096)
+				if rt.Rank != 0 {
+					return
+				}
+				local := rt.LocalAlloc(th, 4096)
+				rt.Get(th, a.At(1), local, 64)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt.Get(th, a.At(1), local, 64)
+				}
+			})
+	})
+
+	if !*smoke {
+		// Fig 9 at paper scale: 4096 ranks hammering a rank-0 counter
+		// through the async progress thread (the wall-clock-bound case
+		// the paper's Fig 9 sweep regenerates).
+		scenario("fig9_p4096", reps, 3, func() {
+			bench.Fig9Point(4096, true, false, 2)
+		})
+
+		// Reduced SCF: the Fig 11 proxy at 256 ranks, one iteration.
+		scfg := nwchem.Config{Mol: nwchem.NewMolecule([]int{8, 6, 6, 8, 6, 6}),
+			Iterations: 1, FlopRate: 2e7}
+		scenario("scf_reduced", reps, 3, func() {
+			nwchem.Experiment(armci.Config{Procs: 256, ProcsPerNode: 16, AsyncThread: true}, scfg)
+		})
+	}
+
+	rep := report{
+		Schema:         1,
+		BaselineCommit: baselineCommit,
+		Note: "wall-clock cost of simulating (engine hot paths), written by `make bench`; " +
+			"ns figures are machine-dependent, allocs/op are not",
+		Benches: reps,
+	}
+
+	names := make([]string, 0, len(reps))
+	for n := range reps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %12s %10s\n", "bench", "ns/op", "allocs/op", "speedup")
+	for _, n := range names {
+		r := reps[n]
+		sp := "-"
+		if r.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Printf("%-28s %14.1f %12.1f %10s\n", n, r.NsPerOp, r.AllocsPerOp, sp)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *smoke {
+		// The zero-allocation invariant: scheduling and network sends must
+		// not allocate in steady state (small slack for the benchmark
+		// fixture's own setup amortized over b.N).
+		bad := false
+		for _, n := range []string{"kernel_events", "kernel_events_zero_delay", "network_send"} {
+			if r, ok := reps[n]; !ok || r.AllocsPerOp > 0.5 {
+				fmt.Fprintf(os.Stderr, "ALLOC REGRESSION: %s allocs/op = %.2f (want ~0)\n", n, reps[n].AllocsPerOp)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Println("smoke ok: zero-alloc invariants hold")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

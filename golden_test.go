@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the current code")
+
+// determinismGolden pins the observable outputs of fixed-seed runs so that
+// engine rewrites (event-queue layout, route caching, ...) provably change
+// nothing: same event count, same final virtual time, same figure bytes.
+type determinismGolden struct {
+	ScenarioEvents uint64 `json:"scenario_events_fired"`
+	ScenarioFinal  int64  `json:"scenario_final_ns"`
+	Fig3CSVSHA256  string `json:"fig3_csv_sha256"`
+	Fig9CSVSHA256  string `json:"fig9_csv_sha256"`
+}
+
+// goldenScenario is a fixed-seed multi-rank workload crossing the hot
+// paths this harness optimizes: RDMA put/get, AM-serviced fetch-and-add,
+// accumulate, fences, barriers, loopback (same-node peers at c=4), and a
+// live observability registry (traced link reservations).
+func goldenScenario() (events uint64, final sim.Time) {
+	const procs = 24
+	cfg := armci.Config{
+		Procs: procs, ProcsPerNode: 4, AsyncThread: true,
+		Seed: 7, Obs: obs.New(obs.WithTrackCap(256)),
+	}
+	w := armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, 4096)
+		local := rt.LocalAlloc(th, 4096)
+		peer := (rt.Rank + 1) % procs
+		for i := 0; i < 4; i++ {
+			rt.Put(th, local, a.At(peer), 256)
+			rt.Get(th, a.At(peer), local, 512)
+			rt.FetchAdd(th, a.At(0), 1)
+			rt.Acc(th, local, a.At(peer).Add(512), 64, 2.0)
+		}
+		rt.Fence(th, peer)
+		rt.Barrier(th)
+	})
+	return w.K.EventsFired(), w.K.Now()
+}
+
+func csvHash(g *bench.Grid) string {
+	var sb strings.Builder
+	g.RenderCSV(&sb)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	events, final := goldenScenario()
+	got := determinismGolden{
+		ScenarioEvents: events,
+		ScenarioFinal:  int64(final),
+		Fig3CSVSHA256:  csvHash(bench.Fig3([]int{16, 256, 4096}, 3)),
+		Fig9CSVSHA256:  csvHash(bench.Fig9([]int{8, 16}, 4)),
+	}
+
+	path := filepath.Join("testdata", "determinism_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %+v", got)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestDeterminismGolden -update .`): %v", err)
+	}
+	var want determinismGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("determinism golden mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDeterminismRepeatable guards against intra-process nondeterminism
+// (map iteration leaking into event order): two back-to-back runs of the
+// scenario must agree exactly.
+func TestDeterminismRepeatable(t *testing.T) {
+	e1, f1 := goldenScenario()
+	e2, f2 := goldenScenario()
+	if e1 != e2 || f1 != f2 {
+		t.Fatalf("same-process reruns diverge: (%d, %d) vs (%d, %d)", e1, f1, e2, f2)
+	}
+}

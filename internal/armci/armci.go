@@ -264,7 +264,7 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		svcCtx:  c.Contexts[w.svcIdx],
 		eps:     make(map[int]pami.Endpoint),
 		svcEps:  make(map[int]pami.Endpoint),
-		regions: newRegionCache(w.Cfg.RegionCacheCap),
+		regions: newRegionCache(w.Cfg.RegionCacheCap, w.Cfg.Procs),
 		ranks:   make([]rankState, w.Cfg.Procs),
 		pend:    make(map[int64]*pendReq),
 		mutexes: make(map[int]*muState),

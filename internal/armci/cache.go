@@ -6,7 +6,8 @@ import (
 )
 
 // remoteRegion is a cached remote memory-region descriptor (the paper's
-// γ = 8-byte metadata).
+// γ = 8-byte metadata). It is pointer-free on purpose: caches hold up to
+// ζ·σ of these per rank, and the collector must not have to scan them.
 type remoteRegion struct {
 	rank int
 	base mem.Addr
@@ -19,61 +20,114 @@ type remoteRegion struct {
 // "prohibitive on a memory limited architecture like Blue Gene/Q" — with
 // least-frequently-used replacement, per §III.B. Misses are served by an
 // active message to the owner.
+//
+// Entries live in dense per-rank value buckets (ranks are 0..procs-1, so
+// a slice beats a map) rather than individually heap-allocated nodes:
+// collective Malloc seeds one entry per peer on every rank, an O(p²)
+// population across the world that dominated the Fig 9 p=4096 wall clock
+// when each entry cost a pointer allocation plus a map assign.
 type regionCache struct {
 	cap     int
-	byRank  map[int][]*remoteRegion
+	byRank  [][]remoteRegion // indexed by owner rank
 	total   int
 	Hits    uint64
 	Misses  uint64
 	Evicted uint64
 }
 
-func newRegionCache(capacity int) *regionCache {
-	return &regionCache{cap: capacity, byRank: make(map[int][]*remoteRegion)}
+func newRegionCache(capacity, procs int) *regionCache {
+	return &regionCache{cap: capacity, byRank: make([][]remoteRegion, procs)}
 }
 
-// lookup returns a cached region covering [addr, addr+n) at rank.
-func (rc *regionCache) lookup(rank int, addr mem.Addr, n int) (*remoteRegion, bool) {
-	for _, r := range rc.byRank[rank] {
+// lookup reports whether a cached region covers [addr, addr+n) at rank,
+// bumping its use count for the LFU policy.
+func (rc *regionCache) lookup(rank int, addr mem.Addr, n int) bool {
+	b := rc.byRank[rank]
+	for i := range b {
+		r := &b[i]
 		if addr >= r.base && uint64(addr)+uint64(n) <= uint64(r.base)+uint64(r.size) {
 			r.freq++
 			rc.Hits++
-			return r, true
+			return true
 		}
 	}
 	rc.Misses++
-	return nil, false
+	return false
 }
 
 // insert adds an entry, evicting the least frequently used entry when at
 // capacity. Ties break deterministically on (rank, base).
-func (rc *regionCache) insert(rank int, base mem.Addr, size int) *remoteRegion {
+func (rc *regionCache) insert(rank int, base mem.Addr, size int) {
 	if rc.total >= rc.cap {
 		rc.evictLFU()
 	}
-	r := &remoteRegion{rank: rank, base: base, size: size, freq: 1}
-	rc.byRank[rank] = append(rc.byRank[rank], r)
+	rc.byRank[rank] = append(rc.byRank[rank], remoteRegion{rank: rank, base: base, size: size, freq: 1})
 	rc.total++
-	return r
 }
 
+// insertExchange seeds one entry per registered peer from a collective
+// Malloc exchange: exactly insert(r, addrs[r], size) for every r with
+// registered[r] && r != self, in rank order. The batch exists for its
+// allocation profile — when the whole exchange fits under cap, all p−1
+// entries land in one arena array and empty buckets are capped sub-slices
+// of it (a later append copies out instead of clobbering a neighbour),
+// so pre-population costs O(1) allocations per rank instead of O(p).
+func (rc *regionCache) insertExchange(self int, addrs []mem.Addr, registered []bool, size int) {
+	n := 0
+	for r := range addrs {
+		if registered[r] && r != self {
+			n++
+		}
+	}
+	if rc.total+n > rc.cap {
+		// Evictions interleave with inserts; take the generic path.
+		for r := range addrs {
+			if registered[r] && r != self {
+				rc.insert(r, addrs[r], size)
+			}
+		}
+		return
+	}
+	arena := make([]remoteRegion, n)
+	i := 0
+	for r := range addrs {
+		if !registered[r] || r == self {
+			continue
+		}
+		arena[i] = remoteRegion{rank: r, base: addrs[r], size: size, freq: 1}
+		if len(rc.byRank[r]) == 0 {
+			rc.byRank[r] = arena[i : i+1 : i+1]
+		} else {
+			rc.byRank[r] = append(rc.byRank[r], arena[i])
+		}
+		i++
+	}
+	rc.total += n
+}
+
+// evictLFU removes the least frequently used entry, breaking ties on
+// (rank, base) so the victim is deterministic. The scan is O(entries)
+// but runs only when the cache is at capacity.
 func (rc *regionCache) evictLFU() {
+	vRank, vIdx := -1, -1
 	var victim *remoteRegion
-	vIdx := -1
-	for _, rs := range rc.byRank {
-		for i, r := range rs {
+	for rank := range rc.byRank {
+		b := rc.byRank[rank]
+		for i := range b {
+			r := &b[i]
 			if victim == nil || r.freq < victim.freq ||
 				(r.freq == victim.freq && (r.rank < victim.rank ||
 					(r.rank == victim.rank && r.base < victim.base))) {
-				victim, vIdx = r, i
+				victim, vRank, vIdx = r, rank, i
 			}
 		}
 	}
 	if victim == nil {
 		return
 	}
-	rs := rc.byRank[victim.rank]
-	rc.byRank[victim.rank] = append(rs[:vIdx], rs[vIdx+1:]...)
+	b := rc.byRank[vRank]
+	copy(b[vIdx:], b[vIdx+1:])
+	rc.byRank[vRank] = b[:len(b)-1]
 	rc.total--
 	rc.Evicted++
 }
@@ -81,10 +135,11 @@ func (rc *regionCache) evictLFU() {
 // purge drops the entry for (rank, base); used when an allocation is
 // collectively freed.
 func (rc *regionCache) purge(rank int, base mem.Addr) {
-	rs := rc.byRank[rank]
-	for i, r := range rs {
-		if r.base == base {
-			rc.byRank[rank] = append(rs[:i], rs[i+1:]...)
+	b := rc.byRank[rank]
+	for i := range b {
+		if b[i].base == base {
+			copy(b[i:], b[i+1:])
+			rc.byRank[rank] = b[:len(b)-1]
 			rc.total--
 			return
 		}
@@ -99,7 +154,7 @@ func (rc *regionCache) Len() int { return rc.total }
 // progress engine — region misses are not free at scale). ok=false means
 // the owner has no covering registration and the caller must fall back.
 func (rt *Runtime) remoteRegionFor(th *sim.Thread, rank int, addr mem.Addr, n int) (ok bool) {
-	if _, hit := rt.regions.lookup(rank, addr, n); hit {
+	if rt.regions.lookup(rank, addr, n) {
 		rt.Stats.Inc("regioncache.hit", 1)
 		return true
 	}

@@ -81,10 +81,8 @@ func (rt *Runtime) Malloc(th *sim.Thread, bytes int) *Allocation {
 	a := &Allocation{ID: len(rt.allocs), Bytes: bytes, Ptrs: make([]GlobalPtr, w.Cfg.Procs)}
 	for r := 0; r < w.Cfg.Procs; r++ {
 		a.Ptrs[r] = GlobalPtr{Rank: r, Addr: w.xchAddr[r]}
-		if w.xchReg[r] && r != rt.Rank {
-			rt.regions.insert(r, w.xchAddr[r], bytes)
-		}
 	}
+	rt.regions.insertExchange(rt.Rank, w.xchAddr, w.xchReg, bytes)
 	rt.allocs = append(rt.allocs, a)
 	rt.Barrier(th) // protect the exchange buffer before reuse
 	rt.Stats.Inc("malloc", 1)

@@ -26,8 +26,8 @@ const (
 type consistency struct {
 	rt   *Runtime
 	mode ConsistencyMode
-	tgt  []uint8         // per-rank status
-	mr   map[int][]uint8 // allocation id -> per-rank status
+	tgt  []uint8   // per-rank status
+	mr   [][]uint8 // allocation id -> per-rank status (nil until first use)
 }
 
 func newConsistency(rt *Runtime, mode ConsistencyMode) *consistency {
@@ -35,17 +35,22 @@ func newConsistency(rt *Runtime, mode ConsistencyMode) *consistency {
 		rt:   rt,
 		mode: mode,
 		tgt:  make([]uint8, rt.W.Cfg.Procs),
-		mr:   make(map[int][]uint8),
 	}
 }
 
+// regionStatus returns the per-rank status vector for an allocation key.
+// Keys are the small dense integers Malloc assigns, so the table is a
+// slice: every Fence clears one rank's bit across all σ structures, and
+// ranging a slice — unlike a map, whose iteration pays a randomized
+// start per range — keeps that sweep off the profile.
 func (c *consistency) regionStatus(key int) []uint8 {
-	s, ok := c.mr[key]
-	if !ok {
-		s = make([]uint8, c.rt.W.Cfg.Procs)
-		c.mr[key] = s
+	for key >= len(c.mr) {
+		c.mr = append(c.mr, nil)
 	}
-	return s
+	if c.mr[key] == nil {
+		c.mr[key] = make([]uint8, c.rt.W.Cfg.Procs)
+	}
+	return c.mr[key]
 }
 
 // noteWrite records an outstanding write (put or accumulate) to (rank,
@@ -75,15 +80,13 @@ func (c *consistency) checkRead(th *sim.Thread, rank, key int) {
 	conflict := c.tgt[rank]&csWrite != 0
 	naiveWould := conflict
 	if c.mode == ConsistencyPerRegion {
-		if !conflict && key >= 0 {
-			if s, ok := c.mr[key]; ok {
-				conflict = s[rank]&csWrite != 0
-			}
+		if !conflict && key >= 0 && key < len(c.mr) && c.mr[key] != nil {
+			conflict = c.mr[key][rank]&csWrite != 0
 		}
 		if !naiveWould {
 			// Would naive mode have fenced? Any outstanding write to rank.
 			for _, s := range c.mr {
-				if s[rank]&csWrite != 0 {
+				if s != nil && s[rank]&csWrite != 0 {
 					naiveWould = true
 					break
 				}
@@ -104,7 +107,9 @@ func (c *consistency) checkRead(th *sim.Thread, rank, key int) {
 func (c *consistency) clearRank(rank int) {
 	c.tgt[rank] = 0
 	for _, s := range c.mr {
-		s[rank] = 0
+		if s != nil {
+			s[rank] = 0
+		}
 	}
 }
 

@@ -32,7 +32,10 @@ type Network struct {
 	// linkFree[id] is the time each unidirectional link becomes available.
 	linkFree []sim.Time
 
-	// Stats
+	// Stats. HopsTotal counts a loopback (same-node) transfer as one hop
+	// — the local MU traversal it pays in the latency model — for both
+	// Send and SendNIC, so `network/hops` is consistent across all
+	// injection paths.
 	Messages   uint64
 	Bytes      uint64
 	RawBytes   uint64
@@ -41,7 +44,7 @@ type Network struct {
 
 	// Observability (all nil when disabled; hot paths pay one nil check).
 	obs       *obs.Registry
-	linkBusy  []*obs.Counter // per-link busy time, created on first use
+	links     []linkObs      // per-link handles, created on first use
 	qdelay    *obs.Histogram // per-traversal link queueing delay
 	msgBytes  *obs.Histogram // payload size distribution
 	cMsgs     *obs.Counter
@@ -49,6 +52,14 @@ type Network struct {
 	cRawBytes *obs.Counter
 	cHops     *obs.Counter
 	cStalled  *obs.Counter
+}
+
+// linkObs holds one link's observability handles: the busy-time counter
+// and the pre-rendered trace track id. Both are formatted once, on the
+// link's first reservation, so traced steady-state sends never Sprintf.
+type linkObs struct {
+	busy  *obs.Counter
+	track string
 }
 
 // New builds a network for the given torus partition.
@@ -68,12 +79,12 @@ func New(k *sim.Kernel, t *topology.Torus, p *Params) *Network {
 func (nw *Network) SetObs(r *obs.Registry) {
 	nw.obs = r
 	if r == nil {
-		nw.linkBusy = nil
+		nw.links = nil
 		nw.qdelay, nw.msgBytes = nil, nil
 		nw.cMsgs, nw.cBytes, nw.cRawBytes, nw.cHops, nw.cStalled = nil, nil, nil, nil, nil
 		return
 	}
-	nw.linkBusy = make([]*obs.Counter, nw.torus.NumLinks())
+	nw.links = make([]linkObs, nw.torus.NumLinks())
 	nw.qdelay = r.Histogram("network/link.qdelay_ns", obs.DefaultLatencyBounds)
 	nw.msgBytes = r.Histogram("network/msg.bytes", obs.ExpBounds(16, 4, 12))
 	nw.cMsgs = r.Counter("network/messages")
@@ -96,13 +107,13 @@ func (nw *Network) reserveLink(id int, head, ser sim.Time) sim.Time {
 	nw.linkFree[id] = start + ser
 	if nw.obs != nil {
 		nw.qdelay.Observe(start - head)
-		c := nw.linkBusy[id]
-		if c == nil {
-			c = nw.obs.Counter(fmt.Sprintf("network/link.busy_ns{link=%d}", id))
-			nw.linkBusy[id] = c
+		l := &nw.links[id]
+		if l.busy == nil {
+			l.busy = nw.obs.Counter(fmt.Sprintf("network/link.busy_ns{link=%d}", id))
+			l.track = fmt.Sprintf("link-%06d", id)
 		}
-		c.Add(ser)
-		nw.obs.SpanArg(obs.TrackLink, fmt.Sprintf("link-%06d", id), "xfer", "net",
+		l.busy.Add(ser)
+		nw.obs.SpanArg(obs.TrackLink, l.track, "xfer", "net",
 			start, start+ser, ser)
 	}
 	return start
@@ -166,21 +177,25 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 		head += p.UnalignedPenalty
 	}
 	var arrival sim.Time
+	var hops int
 	if p.AdaptiveRouting && srcNode != dstNode {
 		arrival = nw.traverseAdaptive(srcNode, dstNode, head, ser)
+		hops = nw.torus.RouteHops(srcNode, dstNode) // adaptive routes are minimal too
 	} else {
-		route := nw.torus.Route(srcNode, dstNode)
+		route := nw.torus.Route(srcNode, dstNode) // cached, shared: read-only
 		if len(route) == 0 {
 			// Loopback through the local router: one hop equivalent.
 			head += p.HopLatency
+			hops = 1
 		}
 		for _, l := range route {
 			head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 		}
+		hops += len(route)
 		arrival = head + ser
 	}
 
-	nw.noteSend(payload, nw.torus.Hops(srcNode, dstNode))
+	nw.noteSend(payload, hops)
 
 	nw.k.At(arrival-now, fn)
 }
@@ -194,14 +209,16 @@ func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 	now := nw.k.Now()
 	ser := p.SerTime(payload)
 	head := now + p.RouterFixed
-	route := nw.torus.Route(srcNode, dstNode)
-	if len(route) == 0 {
+	route := nw.torus.Route(srcNode, dstNode) // cached, shared: read-only
+	hops := len(route)
+	if hops == 0 {
 		head += p.HopLatency
+		hops = 1
 	}
 	for _, l := range route {
 		head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 	}
-	nw.noteSend(payload, len(route))
+	nw.noteSend(payload, hops)
 	nw.k.At(head+ser-now, fn)
 }
 
@@ -209,7 +226,7 @@ func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 // by analytic cross-checks and tests, never by the protocols themselves.
 func (nw *Network) OneWayLatency(srcNode, dstNode, payload int, kind MsgKind) sim.Time {
 	p := nw.params
-	hops := nw.torus.Hops(srcNode, dstNode)
+	hops := nw.torus.RouteHops(srcNode, dstNode)
 	if hops == 0 {
 		hops = 1
 	}

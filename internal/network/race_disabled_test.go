@@ -1,0 +1,7 @@
+//go:build !race
+
+package network
+
+// raceEnabled reports whether the race detector is on; its
+// instrumentation allocates, so allocation-count tests skip themselves.
+const raceEnabled = false

@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+// The zero-allocation invariant (see queue.go): steady-state scheduling
+// must not allocate. These tests are the regression gate behind `make
+// bench-smoke`; if a change reintroduces per-event allocation (a
+// pointer-boxed heap, a closure per wake-up), they fail.
+
+// TestAtRunZeroAlloc drives timed events (value-heap path) through a
+// warmed kernel and asserts At+Run allocate nothing.
+func TestAtRunZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	k := NewKernel()
+	fn := func() {}
+	// Warm-up: grow the heap slice past anything the measured runs need.
+	for i := 0; i < 4096; i++ {
+		k.At(Time(i%13+1), fn)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 512; i++ {
+			k.At(Time(i%13+1), fn)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("At+Run (timed): %.2f allocs per 512-event cycle, want 0", avg)
+	}
+}
+
+// TestZeroDelayZeroAlloc drives same-instant events (FIFO-ring path,
+// the Spawn/Wake/Yield shape) and asserts zero allocations.
+func TestZeroDelayZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	k := NewKernel()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n%512 != 0 {
+			k.At(0, chain)
+		}
+	}
+	// Warm-up grows the ring.
+	k.At(0, chain)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		k.At(0, chain)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("At+Run (zero-delay): %.2f allocs per 512-event cycle, want 0", avg)
+	}
+}
+
+// TestThreadSwitchConstantAlloc asserts the closure-free thread path:
+// allocations for a spawn-sleep-finish lifecycle are a fixed overhead
+// (thread struct, channels, goroutine) independent of how many sleeps —
+// i.e. kernel-thread transfers — the thread performs. Before the typed
+// thread-target events, every Sleep/Yield/Wake allocated a closure.
+func TestThreadSwitchConstantAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	measure := func(sleeps int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			k := NewKernel()
+			k.Spawn("w", func(th *Thread) {
+				for i := 0; i < sleeps; i++ {
+					th.Sleep(1)
+				}
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(64), measure(2048)
+	if large > small+8 {
+		t.Fatalf("allocs grow with transfer count: %.1f at 64 sleeps vs %.1f at 2048", small, large)
+	}
+}

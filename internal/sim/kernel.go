@@ -1,49 +1,26 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"runtime/debug"
 	"sort"
 	"strings"
 
 	"repro/internal/obs"
 )
 
-// event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled (seq), which makes the simulation deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is the discrete-event scheduler. It owns the virtual clock and the
 // event queue, and serializes execution of all simulated threads.
+//
+// The queue is split between a value-based min-heap (future events) and a
+// FIFO ring (events at the current instant); see queue.go for the layout
+// and the ordering proof. Steady-state scheduling performs zero heap
+// allocations: both containers recycle their backing arrays, and thread
+// wake-ups carry a typed *Thread target instead of a closure.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    eventHeap
+	ring    fifoRing
 	yield   chan struct{}
 	cur     *Thread
 	threads []*Thread
@@ -78,6 +55,9 @@ func (k *Kernel) Obs() *obs.Registry { return k.obs }
 // gauging simulation cost and for replay-determinism checks.
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.heap) + k.ring.n }
+
 // At schedules fn to run at now+delay. A negative delay panics: causality
 // violations are always bugs in the caller.
 func (k *Kernel) At(delay Time, fn func()) {
@@ -85,7 +65,28 @@ func (k *Kernel) At(delay Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	e := event{at: k.now + delay, seq: k.seq, fn: fn}
+	if delay == 0 {
+		k.ring.push(e)
+	} else {
+		k.heapPush(e)
+	}
+}
+
+// scheduleThread schedules a control transfer to t at now+delay. It is
+// the closure-free twin of At for the scheduler's own traffic
+// (Spawn/Sleep/Yield/Wake), which dominates the event mix.
+func (k *Kernel) scheduleThread(delay Time, t *Thread) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.seq++
+	e := event{at: k.now + delay, seq: k.seq, t: t}
+	if delay == 0 {
+		k.ring.push(e)
+	} else {
+		k.heapPush(e)
+	}
 }
 
 // ThreadPanic is returned by Run when a simulated thread panicked.
@@ -120,15 +121,26 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
+	for k.ring.n > 0 || len(k.heap) > 0 {
+		// Merge the two queues on (at, seq). On equal timestamps the heap
+		// entry was scheduled first (see queue.go), so it wins ties.
+		var e event
+		if k.ring.n == 0 || (len(k.heap) > 0 && k.heap[0].at <= k.ring.buf[k.ring.head].at) {
+			e = k.heapPop()
+		} else {
+			e = k.ring.pop()
+		}
 		if e.at < k.now {
 			panic("sim: time went backwards")
 		}
 		k.now = e.at
 		k.fired++
 		k.obsEvents.Add(1)
-		e.fn()
+		if e.t != nil {
+			k.transfer(e.t)
+		} else {
+			e.fn()
+		}
 		if k.failure != nil {
 			return k.failure
 		}
@@ -169,8 +181,3 @@ func (k *Kernel) transfer(t *Thread) {
 // Current returns the thread currently executing, or nil when the kernel
 // itself (an event callback) is running.
 func (k *Kernel) Current() *Thread { return k.cur }
-
-func init() {
-	// Keep thread stacks small; simulations spawn thousands of them.
-	debug.SetGCPercent(200)
-}

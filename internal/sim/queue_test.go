@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+// TestRingHeapTieOrder pins the subtle case of the split queue: a timed
+// (heap) event and a zero-delay (ring) event carrying the same timestamp
+// must fire in scheduling (seq) order — the heap event was necessarily
+// scheduled first. A "ring always wins" merge would invert them.
+func TestRingHeapTieOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(5, func() {
+		order = append(order, "first")
+		// Scheduled at the instant 5, after heapY already sits in the
+		// heap with the same timestamp but a smaller seq.
+		k.At(0, func() { order = append(order, "ringX") })
+	})
+	k.At(5, func() { order = append(order, "heapY") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "heapY", "ringX"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventOrderTotal stress-checks the queue against the definition of
+// the simulation's total order: events fire sorted by (time, seq), with
+// zero-delay events interleaved at every step.
+func TestEventOrderTotal(t *testing.T) {
+	k := NewKernel()
+	rng := NewRNG(42)
+	type fired struct {
+		at  Time
+		seq int
+	}
+	var log []fired
+	seq := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if depth > 6 {
+			return
+		}
+		n := int(rng.Uint64()%3) + 1
+		for i := 0; i < n; i++ {
+			d := Time(rng.Uint64() % 4) // 0..3, mixing ring and heap
+			mySeq := seq
+			seq++
+			k.At(d, func() {
+				log = append(log, fired{at: k.Now(), seq: mySeq})
+				schedule(depth + 1)
+			})
+		}
+	}
+	schedule(0)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) < 100 {
+		t.Fatalf("stress too small: %d events", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		a, b := log[i-1], log[i]
+		if b.at < a.at {
+			t.Fatalf("event %d fired at %d after %d", i, b.at, a.at)
+		}
+	}
+}
+
+// TestRingGrowth exercises the ring's wrap-and-grow path: many
+// same-instant events queued while the ring head has advanced.
+func TestRingGrowth(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var fanout func()
+	fanout = func() {
+		fired++
+		if fired < 100 {
+			// Two children per event: the ring must grow mid-drain.
+			k.At(0, fanout)
+			k.At(0, fanout)
+		}
+	}
+	k.At(0, fanout)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.EventsFired(); got < 100 {
+		t.Fatalf("EventsFired = %d, want >= 100", got)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", k.Pending())
+	}
+}

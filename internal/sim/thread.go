@@ -66,7 +66,7 @@ func (k *Kernel) Spawn(name string, fn func(*Thread)) *Thread {
 		}()
 		fn(t)
 	}()
-	k.At(0, func() { k.transfer(t) })
+	k.scheduleThread(0, t)
 	return t
 }
 
@@ -108,7 +108,7 @@ func (t *Thread) Sleep(d Time) {
 		// the thread's "run" span on its timeline.
 		k.obs.Span(t.track, t.Name, "run", k.now, k.now+d)
 	}
-	k.At(d, func() { k.transfer(t) })
+	k.scheduleThread(d, t)
 	t.switchOut()
 }
 
@@ -117,7 +117,7 @@ func (t *Thread) Sleep(d Time) {
 func (t *Thread) Yield() {
 	t.state = stateReady
 	k := t.k
-	k.At(0, func() { k.transfer(t) })
+	k.scheduleThread(0, t)
 	t.switchOut()
 }
 
@@ -150,7 +150,7 @@ func (k *Kernel) Wake(t *Thread) {
 		if k.obs != nil {
 			k.obs.Instant(t.track, t.Name, "wake", k.now)
 		}
-		k.At(0, func() { k.transfer(t) })
+		k.scheduleThread(0, t)
 	case stateDone, stateReady:
 		// Nothing to do: thread finished, or a wake is already in flight.
 	default:

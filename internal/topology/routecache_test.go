@@ -1,0 +1,64 @@
+package topology
+
+import "testing"
+
+// TestRouteMemoized verifies Route returns the same shared slice for a
+// repeated pair (the zero-allocation contract the network layer relies
+// on) and that cached routes stay correct per-pair.
+func TestRouteMemoized(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 1)
+	r1 := tor.Route(3, 97)
+	r2 := tor.Route(3, 97)
+	if len(r1) == 0 {
+		t.Fatal("expected non-trivial route")
+	}
+	if &r1[0] != &r2[0] {
+		t.Error("Route(3,97) returned distinct slices; cache miss on repeat")
+	}
+	// A different pair must not alias the first.
+	r3 := tor.Route(97, 3)
+	if len(r3) == len(r1) && &r3[0] == &r1[0] {
+		t.Error("reverse route aliases forward route")
+	}
+	// Cached result matches a fresh computation.
+	fresh := tor.computeRoute(3, 97)
+	if len(fresh) != len(r1) {
+		t.Fatalf("cached len %d != computed len %d", len(r1), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != r1[i] {
+			t.Fatalf("link %d: cached %+v != computed %+v", i, r1[i], fresh[i])
+		}
+	}
+}
+
+// TestRouteHopsMatchesHops checks the memoized distance against the
+// arithmetic one for every pair of a small torus.
+func TestRouteHopsMatchesHops(t *testing.T) {
+	tor := New([NumDims]int{1, 2, 3, 2, 2}, 1)
+	n := tor.Nodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if got, want := tor.RouteHops(a, b), tor.Hops(a, b); got != want {
+				t.Fatalf("RouteHops(%d,%d) = %d, Hops = %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestRouteAllocOnlyOnMiss asserts the steady-state contract directly:
+// repeated Route calls on warmed pairs do not allocate.
+func TestRouteAllocOnlyOnMiss(t *testing.T) {
+	tor := New([NumDims]int{2, 2, 4, 4, 2}, 1)
+	for s := 0; s < 128; s++ {
+		tor.Route(s, (s*7+3)%128)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for s := 0; s < 128; s++ {
+			tor.Route(s, (s*7+3)%128)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warmed Route allocates %.2f per 128 calls, want 0", avg)
+	}
+}

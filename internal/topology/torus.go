@@ -25,6 +25,13 @@ func (c Coord) String() string {
 type Torus struct {
 	Dims         [NumDims]int
 	ProcsPerNode int
+
+	// routes memoizes dimension-order routes per (src, dst) node pair.
+	// Figure sweeps send between the same pairs thousands of times;
+	// caching makes the steady-state network Send path allocation-free.
+	// Lazily initialized, keyed src<<32|dst. Not safe for concurrent
+	// mutation — the simulation kernel serializes all callers.
+	routes map[uint64][]Link
 }
 
 // New builds a torus with the given extents and processes per node. Every
@@ -172,15 +179,41 @@ func (l Link) ID() int {
 // NumLinks returns the number of unidirectional links in the partition.
 func (t *Torus) NumLinks() int { return t.Nodes() * NumDims * 2 }
 
-// Route computes the deterministic dimension-order route from node n1 to
+// Route returns the deterministic dimension-order route from node n1 to
 // node n2 (the BG/Q default at the time of the paper): dimensions are
 // corrected in A,B,C,D,E order, always along the shorter torus direction.
 // The returned slice lists every link traversed; its length equals
 // Hops(n1,n2). Routing a node to itself returns nil.
+//
+// Routes are memoized per (n1, n2): repeated calls return the same
+// shared slice, which callers must treat as read-only.
 func (t *Torus) Route(n1, n2 int) []Link {
 	if n1 == n2 {
 		return nil
 	}
+	key := uint64(uint32(n1))<<32 | uint64(uint32(n2))
+	if r, ok := t.routes[key]; ok {
+		return r
+	}
+	r := t.computeRoute(n1, n2)
+	if t.routes == nil {
+		t.routes = make(map[uint64][]Link)
+	}
+	t.routes[key] = r
+	return r
+}
+
+// RouteHops returns the memoized hop distance between two nodes. It is
+// Hops backed by the route cache: after first touch of a pair it is a
+// map probe instead of two coordinate expansions.
+func (t *Torus) RouteHops(n1, n2 int) int {
+	if n1 == n2 {
+		return 0
+	}
+	return len(t.Route(n1, n2))
+}
+
+func (t *Torus) computeRoute(n1, n2 int) []Link {
 	cur := t.CoordOf(n1)
 	dst := t.CoordOf(n2)
 	route := make([]Link, 0, t.Hops(n1, n2))
