@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke figures report scf clean
 
 all: vet test
 
@@ -16,10 +16,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# CI gate: vet plus the short suite under the race detector.
+# CI gate: vet plus the short suite under the race detector (the fault
+# package rides along in ./...; listed explicitly so a package-selection
+# change can't silently drop it from the -race run).
 check:
 	$(GO) vet ./...
-	$(GO) test -short -race ./...
+	$(GO) test -short -race ./internal/fault/ ./...
 
 # Engine wall-clock benchmarks (the cost of simulating): micro benches
 # plus the reduced Fig 9 p=4096 / SCF scenarios, written to
@@ -33,6 +35,15 @@ bench:
 # zero-allocation invariant (kernel At/Run, network Send) regresses.
 bench-smoke:
 	$(GO) run ./cmd/simbench -smoke -out ''
+
+# Chaos determinism gate: the scripted-fault profile run twice with the
+# same seed must emit byte-identical tables (same event count, same final
+# virtual time, same recovery counters).
+chaos-smoke:
+	$(GO) run ./cmd/armci-bench -chaos -quick > /tmp/chaos1.txt
+	$(GO) run ./cmd/armci-bench -chaos -quick > /tmp/chaos2.txt
+	cmp /tmp/chaos1.txt /tmp/chaos2.txt
+	@echo "chaos determinism OK"
 
 # Regenerate every figure/table at full scale into results/.
 figures:

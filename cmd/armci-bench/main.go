@@ -11,6 +11,8 @@
 //	armci-bench -fig 5 -trace out.json -metrics out.txt
 //	                             # also capture a Perfetto-loadable
 //	                             # timeline and a metrics dump
+//	armci-bench -chaos           # Fig 9 workload under scripted faults
+//	armci-bench -chaos -chaos-seed 7
 package main
 
 import (
@@ -36,6 +38,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes/process counts")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON (Perfetto) to this file")
 	metricsPath := flag.String("metrics", "", "write the metrics dump to this file")
+	chaos := flag.Bool("chaos", false,
+		"run the Fig 9 workload under the scripted fault plan (exercises retry/recovery)")
+	chaosSeed := flag.Uint64("chaos-seed", 42, "seed for the -chaos fault plan and jitter")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -62,6 +67,16 @@ func main() {
 		} else {
 			g.Render(os.Stdout)
 		}
+	}
+
+	if *chaos {
+		procs := []int{8, 16, 32}
+		if *quick {
+			procs = []int{8, 16}
+		}
+		render(bench.Chaos(procs, 10, *chaosSeed))
+		writeObs(reg, *tracePath, *metricsPath)
+		return
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }

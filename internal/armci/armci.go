@@ -17,14 +17,15 @@ package armci
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/pami"
 	"repro/internal/sim"
 	"repro/internal/topology"
-	"repro/internal/trace"
 )
 
 // ConsistencyMode selects how conflicting memory accesses are tracked.
@@ -74,9 +75,14 @@ type Config struct {
 	Params *network.Params
 	// Seed perturbs the deterministic jitter streams.
 	Seed uint64
-	// Trace, when non-nil, records protocol decisions (path taken,
-	// fences, AMOs) into the ring recorder for post-run inspection.
-	Trace *trace.Recorder
+	// Fault, when non-nil, installs deterministic fault injection on the
+	// network and arms the recovery machinery (timeouts, retries,
+	// degradation) throughout the stack. Nil models the paper's perfectly
+	// reliable torus at zero overhead beyond one nil check per send.
+	Fault *fault.Plan
+	// Retry overrides the recovery policy used when Fault is set; nil
+	// picks DefaultRetryPolicy(). Ignored without a fault plan.
+	Retry *RetryPolicy
 	// Obs, when non-nil, instruments every layer of the stack — sim
 	// thread timelines, network link utilization, PAMI progress-engine
 	// metrics, ARMCI op counts/latencies — into the given registry. Nil
@@ -84,9 +90,16 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults validates the configuration and fills in mode defaults.
+// Invalid configurations return a descriptive error instead of panicking:
+// Run surfaces it to the caller, which is the contract experiment
+// harnesses rely on when sweeping configuration spaces.
+func (c Config) withDefaults() (Config, error) {
 	if c.Procs <= 0 {
-		panic("armci: Config.Procs must be positive")
+		return c, fmt.Errorf("armci: Config.Procs must be positive, got %d", c.Procs)
+	}
+	if c.ProcsPerNode < 0 {
+		return c, fmt.Errorf("armci: Config.ProcsPerNode must be non-negative, got %d", c.ProcsPerNode)
 	}
 	if c.ProcsPerNode == 0 {
 		c.ProcsPerNode = 16
@@ -98,8 +111,17 @@ func (c Config) withDefaults() Config {
 			c.Contexts = 1
 		}
 	}
+	if c.Contexts < 1 || c.Contexts > 2 {
+		return c, fmt.Errorf("armci: Config.Contexts must be 1 or 2 (ρ in the paper), got %d", c.Contexts)
+	}
+	if c.RegionCacheCap < 0 {
+		return c, fmt.Errorf("armci: Config.RegionCacheCap must be non-negative, got %d", c.RegionCacheCap)
+	}
 	if c.RegionCacheCap == 0 {
 		c.RegionCacheCap = 4096
+	}
+	if c.TypedThreshold < 0 {
+		return c, fmt.Errorf("armci: Config.TypedThreshold must be non-negative, got %d", c.TypedThreshold)
 	}
 	if c.TypedThreshold == 0 {
 		c.TypedThreshold = 32
@@ -111,9 +133,23 @@ func (c Config) withDefaults() Config {
 		// The fence protocol chases prior traffic with an ordered control
 		// message, which only works under deterministic routing's
 		// per-pair FIFO (the paper's footnote 1).
-		panic("armci: AdaptiveRouting breaks fence ordering; network-layer studies only")
+		return c, fmt.Errorf("armci: AdaptiveRouting breaks fence ordering; network-layer studies only")
 	}
-	return c
+	if c.Fault != nil {
+		if c.Params.HardwareAMO {
+			// The what-if NIC atomics path has no sequence numbers to dedup
+			// on; combining it with at-least-once delivery would corrupt.
+			return c, fmt.Errorf("armci: fault injection is not supported with Params.HardwareAMO")
+		}
+		if c.Retry != nil {
+			if err := c.Retry.validate(); err != nil {
+				return c, err
+			}
+		}
+	} else if c.Retry != nil {
+		return c, fmt.Errorf("armci: Config.Retry set without Config.Fault; retry policies only apply to chaos runs")
+	}
+	return c, nil
 }
 
 // World is one simulated job: the machine plus every rank's runtime.
@@ -125,6 +161,10 @@ type World struct {
 	Runtimes []*Runtime
 	svcIdx   int // context index remote-service AMs are addressed to
 
+	// Faults is the installed injector (nil outside chaos runs); chaos
+	// harnesses read its counters after Run.
+	Faults *fault.Injector
+
 	// collective state
 	barCount int
 	barGen   uint64
@@ -134,10 +174,13 @@ type World struct {
 	done     int
 }
 
-// NewWorld builds the machine and empty runtime slots. Runtimes come to
-// life in Start.
-func NewWorld(k *sim.Kernel, cfg Config) *World {
-	cfg = cfg.withDefaults()
+// NewWorld builds the machine and empty runtime slots, returning an error
+// for invalid configurations. Runtimes come to life in Start.
+func NewWorld(k *sim.Kernel, cfg Config) (*World, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	tor := topology.ForProcs(cfg.Procs, cfg.ProcsPerNode)
 	m := pami.NewMachine(k, tor, cfg.Params)
 	m.SeedBase = cfg.Seed
@@ -145,21 +188,30 @@ func NewWorld(k *sim.Kernel, cfg Config) *World {
 		k.SetObs(cfg.Obs)
 		m.SetObs(cfg.Obs)
 	}
-	svcIdx := 0
-	if cfg.AsyncThread {
-		svcIdx = cfg.Contexts - 1
-	}
-	return &World{
+	w := &World{
 		K:        k,
 		M:        m,
 		Cfg:      cfg,
 		Runtimes: make([]*Runtime, cfg.Procs),
-		svcIdx:   svcIdx,
 		xchAddr:  make([]mem.Addr, cfg.Procs),
 		xchReg:   make([]bool, cfg.Procs),
 		xchF64:   make([]float64, cfg.Procs),
 	}
+	if cfg.AsyncThread {
+		w.svcIdx = cfg.Contexts - 1
+	}
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(tor.Nodes(), tor.NumLinks()); err != nil {
+			return nil, err
+		}
+		w.Faults = fault.NewInjector(k, cfg.Fault, cfg.Seed, cfg.Obs)
+		m.Net.SetFault(w.Faults)
+	}
+	return w, nil
 }
+
+// faulty reports whether this is a chaos run; recovery paths arm on it.
+func (w *World) faulty() bool { return w.Faults != nil }
 
 // Start spawns one main thread per rank. Each creates its PAMI state,
 // synchronizes, runs body, then participates in a collective finalize.
@@ -178,10 +230,14 @@ func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
 }
 
 // Run builds a world, runs body on every rank, and drives the simulation
-// to completion.
+// to completion. Invalid configurations return an error before any
+// simulation work happens.
 func Run(cfg Config, body func(th *sim.Thread, rt *Runtime)) (*World, error) {
 	k := sim.NewKernel()
-	w := NewWorld(k, cfg)
+	w, err := NewWorld(k, cfg)
+	if err != nil {
+		return nil, err
+	}
 	w.Start(body)
 	return w, k.Run()
 }
@@ -196,7 +252,10 @@ func MustRun(cfg Config, body func(th *sim.Thread, rt *Runtime)) *World {
 }
 
 // AggregateStats sums every rank's protocol counters; experiment
-// harnesses report these next to the timing results.
+// harnesses report these next to the timing results. Map iteration order
+// is randomized by the runtime — any harness printing these must go
+// through AggregateStatsSorted (or sort the keys itself) or its text
+// output will differ between identical runs.
 func (w *World) AggregateStats() map[string]int64 {
 	total := make(map[string]int64)
 	for _, rt := range w.Runtimes {
@@ -208,6 +267,24 @@ func (w *World) AggregateStats() map[string]int64 {
 		}
 	}
 	return total
+}
+
+// Stat is one aggregated counter.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// AggregateStatsSorted returns the aggregate counters in ascending name
+// order — the deterministic form for any text output.
+func (w *World) AggregateStatsSorted() []Stat {
+	agg := w.AggregateStats()
+	out := make([]Stat, 0, len(agg))
+	for k, v := range agg {
+		out = append(out, Stat{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // rankState is per-target bookkeeping for fences.
@@ -249,6 +326,20 @@ type Runtime struct {
 
 	obsOps  *opObs // nil when Config.Obs is nil
 	trackID string // this rank's trace track id ("rank-NNNN")
+
+	// Recovery state, armed only on chaos runs (Config.Fault non-nil).
+	retry        *RetryPolicy   // resolved policy (never nil when faulty)
+	suspectUntil []sim.Time     // per-target rank: RDMA path suspect until this time
+	applied      map[amKey]bool // target-side write-AM dedup, lazily allocated
+	ftObs        *ftObs         // retry/timeout/recovery instrumentation
+}
+
+// amKey identifies one write AM target-side for deduplication: the
+// initiator allocates the id once per logical operation and re-sends it
+// on retry, so (initiator, id) names the operation, not the message.
+type amKey struct {
+	src int
+	id  int64
 }
 
 func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
@@ -274,6 +365,14 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		trackID: fmt.Sprintf("rank-%04d", rank),
 	}
 	rt.cons = newConsistency(rt, w.Cfg.Consistency)
+	if w.faulty() {
+		rt.retry = w.Cfg.Retry
+		if rt.retry == nil {
+			rt.retry = DefaultRetryPolicy()
+		}
+		rt.suspectUntil = make([]sim.Time, w.Cfg.Procs)
+		rt.ftObs = newFtObs(w.Cfg.Obs)
+	}
 	rt.installHandlers()
 
 	if w.Cfg.AsyncThread {
@@ -344,16 +443,16 @@ func (rt *Runtime) jit(t sim.Time) sim.Time {
 	return rt.rng.Jitter(t, rt.W.Cfg.Params.JitterFrac)
 }
 
-// tr records a protocol trace event when tracing is enabled: into the
-// legacy ring recorder and, under the unified registry, as an instant on
-// this rank's trace track (so protocol decisions line up with the
-// thread/link timelines in Perfetto).
-func (rt *Runtime) tr(kind trace.Kind, what string, arg int64) {
-	if rec := rt.W.Cfg.Trace; rec != nil {
-		rec.Add(rt.W.K.Now(), rt.Rank, kind, what, arg)
-	}
+// faulty reports whether this runtime's recovery machinery is armed.
+func (rt *Runtime) faulty() bool { return rt.W.Faults != nil }
+
+// tr records a protocol decision as an instant on this rank's obs trace
+// track (categories: "rdma", "am", "fence", "fault"), so decisions line
+// up with the thread/link timelines in Perfetto. The legacy trace.Recorder
+// shim this used to feed is gone; obs is the one tracing API.
+func (rt *Runtime) tr(cat, what string, arg int64) {
 	if r := rt.W.Cfg.Obs; r != nil {
-		r.InstantArg(obs.TrackRank, rt.trackID, what, kind.String(), rt.W.K.Now(), arg)
+		r.InstantArg(obs.TrackRank, rt.trackID, what, cat, rt.W.K.Now(), arg)
 	}
 }
 

@@ -146,6 +146,13 @@ func (rc *regionCache) purge(rank int, base mem.Addr) {
 	}
 }
 
+// purgeRank drops every entry owned by rank; used when the rank's RDMA
+// path turns suspect and all its cached descriptors must be re-resolved.
+func (rc *regionCache) purgeRank(rank int) {
+	rc.total -= len(rc.byRank[rank])
+	rc.byRank[rank] = nil
+}
+
 // Len returns the number of cached entries.
 func (rc *regionCache) Len() int { return rc.total }
 

@@ -72,6 +72,21 @@ func (rt *Runtime) Barrier(th *sim.Thread) {
 // the AM miss protocol takes over. All ranks must call Malloc in the
 // same order.
 func (rt *Runtime) Malloc(th *sim.Thread, bytes int) *Allocation {
+	a, err := rt.MallocErr(th, bytes)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MallocErr is the error-returning collective allocation: a non-positive
+// size is reported instead of corrupting the exchange. Like Malloc, all
+// ranks must call it in the same order (and so all ranks see the same
+// error for the same call).
+func (rt *Runtime) MallocErr(th *sim.Thread, bytes int) (*Allocation, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("armci: Malloc size must be positive, got %d", bytes)
+	}
 	addr := rt.C.Space.Alloc(bytes)
 	reg := rt.C.RegisterMemory(th, addr, bytes)
 	w := rt.W
@@ -86,13 +101,34 @@ func (rt *Runtime) Malloc(th *sim.Thread, bytes int) *Allocation {
 	rt.allocs = append(rt.allocs, a)
 	rt.Barrier(th) // protect the exchange buffer before reuse
 	rt.Stats.Inc("malloc", 1)
-	return a
+	return a, nil
 }
 
 // Free collectively releases an allocation. Every rank purges its remote
 // region cache of the freed blocks, so later allocations reusing the
 // addresses cannot hit stale RDMA metadata.
 func (rt *Runtime) Free(th *sim.Thread, a *Allocation) {
+	if err := rt.FreeErr(th, a); err != nil {
+		panic(err)
+	}
+}
+
+// FreeErr is the error-returning collective free: nil or already-freed
+// allocations are reported instead of panicking deep in the allocator.
+func (rt *Runtime) FreeErr(th *sim.Thread, a *Allocation) error {
+	if a == nil {
+		return fmt.Errorf("armci: Free of nil allocation")
+	}
+	known := false
+	for _, al := range rt.allocs {
+		if al == a {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("armci: Free of unknown or already-freed allocation %d", a.ID)
+	}
 	rt.Barrier(th) // no rank may still be using the block
 	for r, p := range a.Ptrs {
 		rt.regions.purge(r, p.Addr)
@@ -108,6 +144,7 @@ func (rt *Runtime) Free(th *sim.Thread, a *Allocation) {
 		}
 	}
 	rt.Barrier(th)
+	return nil
 }
 
 // AllReduceSum is a collective sum over one float64 per rank (the GA_Dgop

@@ -1,8 +1,9 @@
 package armci
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Status bits of the 8-bit per-region communication status (cs_mr).
@@ -118,6 +119,10 @@ func (c *consistency) clearRank(rank int) {
 // round-trip, and AM writes (fallback puts, accumulates) are awaited via
 // their acks. Clears the conflict status for the target (§III.E).
 func (rt *Runtime) Fence(th *sim.Thread, rank int) {
+	if rt.faulty() {
+		rt.fenceFT(th, rank)
+		return
+	}
 	pr := &rt.ranks[rank]
 	if pr.unflushedPuts > 0 {
 		comp := sim.NewCompletion(rt.W.K)
@@ -132,7 +137,41 @@ func (rt *Runtime) Fence(th *sim.Thread, rank int) {
 	}
 	rt.cons.clearRank(rank)
 	rt.Stats.Inc("fence", 1)
-	rt.tr(trace.Fence, "fence", int64(rank))
+	rt.tr("fence", "fence", int64(rank))
+}
+
+// fenceFT is the chaos-run fence. The flush round-trip can itself be
+// lost, so it is retried under the policy; outstanding AM acks (from
+// legacy non-blocking writes) are awaited with a bounded deadline. The
+// blocking *Err operations are end-to-end on chaos runs and leave
+// nothing for the fence to wait on — this path mainly covers workloads
+// that mix legacy Nb* writes with fault injection, which is best-effort:
+// a lost Nb write's ack never arrives and the fence panics.
+func (rt *Runtime) fenceFT(th *sim.Thread, rank int) {
+	pr := &rt.ranks[rank]
+	if pr.unflushedPuts > 0 {
+		comp := sim.NewCompletion(rt.W.K)
+		err := rt.retryLoop(th, "fence.flush", rank, 0, comp, func(int) {
+			rt.mainCtx.FlushRemote(th, rt.epData(th, rank), comp)
+		}, nil)
+		if err != nil {
+			panic(fmt.Sprintf("armci: fence flush to rank %d exhausted retries: %v", rank, err))
+		}
+		pr.unflushedPuts = 0
+		rt.Stats.Inc("fence.flush", 1)
+	}
+	if pr.unackedAMs > 0 {
+		deadline := th.Now() + rt.retry.Timeout*sim.Time(rt.retry.MaxAttempts)
+		if !rt.mainCtx.WaitCondUntil(th, func() bool { return pr.unackedAMs == 0 }, deadline) {
+			panic(fmt.Sprintf("armci: fence to rank %d timed out awaiting %d AM acks; "+
+				"non-blocking writes are not fault-hardened — use the blocking *Err forms on chaos runs",
+				rank, pr.unackedAMs))
+		}
+		rt.Stats.Inc("fence.ack", 1)
+	}
+	rt.cons.clearRank(rank)
+	rt.Stats.Inc("fence", 1)
+	rt.tr("fence", "fence", int64(rank))
 }
 
 // AllFence fences every target with outstanding writes (ARMCI_AllFence).

@@ -1,9 +1,8 @@
 package armci
 
 import (
+	"fmt"
 	"math"
-
-	"repro/internal/trace"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -73,27 +72,46 @@ func (rt *Runtime) NbPut(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int) *
 		rt.mainCtx.RdmaPut(th, rt.epData(th, dst.Rank), local, dst.Addr, n, comp)
 		rt.ranks[dst.Rank].unflushedPuts++
 		rt.Stats.Inc("put.rdma", 1)
-		rt.tr(trace.RDMA, "put.rdma", int64(n))
+		rt.tr("rdma", "put.rdma", int64(n))
 		return &Handle{rt: rt, comps: []*sim.Completion{comp}}
 	}
 	// Fallback: AM carrying the payload; remote ack feeds the fence.
 	data := make([]byte, n)
 	rt.C.Space.CopyOut(local, data)
-	id, _ := rt.newPend()
+	id, p := rt.newPend()
+	p.counted = true
 	rt.ranks[dst.Rank].unackedAMs++
 	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dPutReq,
 		[]int64{id, int64(dst.Addr)}, data)
 	rt.Stats.Inc("put.am", 1)
-	rt.tr(trace.AM, "put.am", int64(n))
+	rt.tr("am", "put.am", int64(n))
 	return &Handle{rt: rt, comps: []*sim.Completion{rt.finishedCompletion()}}
 }
 
 // Put is the blocking contiguous put: it returns when the local buffer is
-// reusable (local completion), per ARMCI/MPI buffer-reuse semantics.
+// reusable (local completion), per ARMCI/MPI buffer-reuse semantics. On
+// chaos runs an exhausted retry budget panics; use PutErr to handle it.
 func (rt *Runtime) Put(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int) {
+	if err := rt.PutErr(th, local, dst, n); err != nil {
+		panic(err)
+	}
+}
+
+// PutErr is the error-returning blocking put. Without fault injection it
+// cannot fail and behaves exactly like Put; on chaos runs it is
+// end-to-end (remotely applied on return), retried under the configured
+// RetryPolicy, and returns *OpError when the budget is exhausted.
+func (rt *Runtime) PutErr(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int) error {
 	t0 := th.Now()
-	rt.NbPut(th, local, dst, n).Wait(th)
+	if rt.faulty() {
+		if err := rt.putFT(th, local, dst, n); err != nil {
+			return err
+		}
+	} else {
+		rt.NbPut(th, local, dst, n).Wait(th)
+	}
 	rt.obsOp(opPut, n, th.Now()-t0)
+	return nil
 }
 
 // NbGet starts a non-blocking contiguous get of n bytes from src into
@@ -107,7 +125,7 @@ func (rt *Runtime) NbGet(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) *
 	if rt.localRegionFor(th, local, n) && rt.remoteRegionFor(th, src.Rank, src.Addr, n) {
 		rt.mainCtx.RdmaGet(th, rt.epData(th, src.Rank), local, src.Addr, n, comp)
 		rt.Stats.Inc("get.rdma", 1)
-		rt.tr(trace.RDMA, "get.rdma", int64(n))
+		rt.tr("rdma", "get.rdma", int64(n))
 		return &Handle{rt: rt, comps: []*sim.Completion{comp}}
 	}
 	// Fallback: the get is no longer one-sided — the target must advance
@@ -118,15 +136,30 @@ func (rt *Runtime) NbGet(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) *
 	rt.mainCtx.SendAM(th, rt.epSvc(th, src.Rank), dGetReq,
 		[]int64{id, int64(src.Addr), int64(n)}, nil)
 	rt.Stats.Inc("get.fallback", 1)
-	rt.tr(trace.AM, "get.fallback", int64(n))
+	rt.tr("am", "get.fallback", int64(n))
 	return &Handle{rt: rt, comps: []*sim.Completion{comp}}
 }
 
-// Get is the blocking contiguous get.
+// Get is the blocking contiguous get. On chaos runs an exhausted retry
+// budget panics; use GetErr to handle it.
 func (rt *Runtime) Get(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) {
+	if err := rt.GetErr(th, src, local, n); err != nil {
+		panic(err)
+	}
+}
+
+// GetErr is the error-returning blocking get (see PutErr).
+func (rt *Runtime) GetErr(th *sim.Thread, src GlobalPtr, local mem.Addr, n int) error {
 	t0 := th.Now()
-	rt.NbGet(th, src, local, n).Wait(th)
+	if rt.faulty() {
+		if err := rt.getFT(th, src, local, n); err != nil {
+			return err
+		}
+	} else {
+		rt.NbGet(th, src, local, n).Wait(th)
+	}
 	rt.obsOp(opGet, n, th.Now()-t0)
+	return nil
 }
 
 // NbAcc starts a non-blocking accumulate: dst[i] += scale * local[i] over
@@ -143,17 +176,38 @@ func (rt *Runtime) NbAcc(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int, s
 	id, p := rt.newPend()
 	comp := sim.NewCompletion(rt.W.K)
 	p.comp = comp
+	p.counted = true
 	rt.ranks[dst.Rank].unackedAMs++
 	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dAccReq,
 		[]int64{id, int64(dst.Addr), int64(math.Float64bits(scale))}, data)
 	rt.Stats.Inc("acc", 1)
-	rt.tr(trace.AM, "acc", int64(n))
+	rt.tr("am", "acc", int64(n))
 	return &Handle{rt: rt, comps: []*sim.Completion{comp}}
 }
 
-// Acc is the blocking accumulate.
+// Acc is the blocking accumulate. On chaos runs an exhausted retry
+// budget panics; use AccErr to handle it.
 func (rt *Runtime) Acc(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int, scale float64) {
+	if err := rt.AccErr(th, local, dst, n, scale); err != nil {
+		panic(err)
+	}
+}
+
+// AccErr is the error-returning blocking accumulate (see PutErr). On
+// chaos runs the accumulate is applied exactly once even when the
+// request is duplicated or retried.
+func (rt *Runtime) AccErr(th *sim.Thread, local mem.Addr, dst GlobalPtr, n int, scale float64) error {
+	if n%mem.Float64Size != 0 {
+		return fmt.Errorf("armci: accumulate length %d not a multiple of 8", n)
+	}
 	t0 := th.Now()
-	rt.NbAcc(th, local, dst, n, scale).Wait(th)
+	if rt.faulty() {
+		if err := rt.accFT(th, local, dst, n, scale); err != nil {
+			return err
+		}
+	} else {
+		rt.NbAcc(th, local, dst, n, scale).Wait(th)
+	}
 	rt.obsOp(opAcc, n, th.Now()-t0)
+	return nil
 }

@@ -1,6 +1,7 @@
 package armci
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -146,12 +147,20 @@ func TestRmwToSelfDefaultMode(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero procs")
-		}
-	}()
-	Config{}.withDefaults()
+	// Invalid configurations surface as descriptive errors from Run, not
+	// panics from deep inside withDefaults.
+	if _, err := Run(Config{}, func(th *sim.Thread, rt *Runtime) {}); err == nil {
+		t.Fatal("expected error for zero procs")
+	} else if !strings.Contains(err.Error(), "Procs") {
+		t.Fatalf("zero-procs error %q does not name the field", err)
+	}
+	cfg := atCfg(2)
+	cfg.Contexts = 3
+	if _, err := Run(cfg, func(th *sim.Thread, rt *Runtime) {}); err == nil {
+		t.Fatal("expected error for Contexts=3")
+	} else if !strings.Contains(err.Error(), "Contexts") {
+		t.Fatalf("contexts error %q does not name the field", err)
+	}
 }
 
 func TestSpaceModelEquations(t *testing.T) {

@@ -83,9 +83,12 @@ func (rt *Runtime) handleLockReq(th *sim.Thread, x *pami.Context, msg *pami.AMes
 
 func (rt *Runtime) handleLockRep(_ *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
 	id := msg.Hdr[0]
-	p := rt.pend[id]
+	p, ok := rt.pend[id]
+	if !ok {
+		return // duplicate grant (fault mode only)
+	}
 	delete(rt.pend, id)
-	p.comp.Finish()
+	p.comp.FinishOnce()
 }
 
 func (rt *Runtime) handleUnlockReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {

@@ -1,0 +1,82 @@
+package armci
+
+import (
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// Option mutates a Config under construction. NewConfig with options is
+// the documented way to build configurations; the Config literal remains
+// supported for existing callers and for fields without an option.
+type Option func(*Config)
+
+// NewConfig builds a Config for procs ranks with the given options
+// applied in order. Validation happens in Run/NewWorld, not here, so an
+// invalid combination surfaces as an error at run time rather than a
+// panic at construction.
+func NewConfig(procs int, opts ...Option) Config {
+	c := Config{Procs: procs}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithProcsPerNode sets c, the ranks placed per node (default 16).
+func WithProcsPerNode(n int) Option {
+	return func(c *Config) { c.ProcsPerNode = n }
+}
+
+// WithAsyncThread enables the asynchronous progress thread (the paper's
+// "AT" configuration).
+func WithAsyncThread() Option {
+	return func(c *Config) { c.AsyncThread = true }
+}
+
+// WithContexts sets ρ, the PAMI contexts per process (1 or 2).
+func WithContexts(n int) Option {
+	return func(c *Config) { c.Contexts = n }
+}
+
+// WithConsistency selects the conflict-tracking mode.
+func WithConsistency(m ConsistencyMode) Option {
+	return func(c *Config) { c.Consistency = m }
+}
+
+// WithRegionCacheCap bounds the remote memory-region cache.
+func WithRegionCacheCap(n int) Option {
+	return func(c *Config) { c.RegionCacheCap = n }
+}
+
+// WithMaxRegions bounds per-process region registrations (negative
+// forbids registration entirely, forcing the fallback protocols).
+func WithMaxRegions(n int) Option {
+	return func(c *Config) { c.MaxRegions = n }
+}
+
+// WithFaultPlan installs a fault-injection script, turning the run into
+// a chaos run with recovery armed.
+func WithFaultPlan(p *fault.Plan) Option {
+	return func(c *Config) { c.Fault = p }
+}
+
+// WithRetryPolicy overrides the recovery policy of a chaos run.
+func WithRetryPolicy(p *RetryPolicy) Option {
+	return func(c *Config) { c.Retry = p }
+}
+
+// WithParams overrides the machine model.
+func WithParams(p *network.Params) Option {
+	return func(c *Config) { c.Params = p }
+}
+
+// WithSeed perturbs the deterministic jitter (and fault) streams.
+func WithSeed(s uint64) Option {
+	return func(c *Config) { c.Seed = s }
+}
+
+// WithObs instruments the run into the given registry.
+func WithObs(r *obs.Registry) Option {
+	return func(c *Config) { c.Obs = r }
+}

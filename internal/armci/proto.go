@@ -30,6 +30,10 @@ const (
 type pendReq struct {
 	comp      *sim.Completion
 	localAddr mem.Addr
+	// counted marks requests that incremented the fence accounting
+	// (unackedAMs) at issue; only those decrement it on ack. Fault-mode
+	// end-to-end operations leave it false.
+	counted bool
 	// strided reply layout
 	strides []int
 	counts  []int
@@ -38,6 +42,25 @@ type pendReq struct {
 	found bool
 	base  mem.Addr
 	size  int
+}
+
+// amSeen dedups at-least-once write AMs by (initiator rank, request id).
+// Only armed on chaos runs — without fault injection every request
+// arrives exactly once and the map is never allocated.
+func (rt *Runtime) amSeen(src int, id int64) bool {
+	if !rt.faulty() {
+		return false
+	}
+	key := amKey{src: src, id: id}
+	if rt.applied[key] {
+		rt.Stats.Inc("dup.am", 1)
+		return true
+	}
+	if rt.applied == nil {
+		rt.applied = make(map[amKey]bool)
+	}
+	rt.applied[key] = true
+	return false
 }
 
 // installHandlers registers the ARMCI protocol handlers on every context
@@ -82,7 +105,10 @@ func (rt *Runtime) handleRegionQ(th *sim.Thread, x *pami.Context, msg *pami.AMes
 }
 
 func (rt *Runtime) handleRegionR(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
-	p := rt.pend[msg.Hdr[0]]
+	p, ok := rt.pend[msg.Hdr[0]]
+	if !ok {
+		return // duplicate or abandoned query (fault mode only)
+	}
 	p.found = msg.Hdr[1] != 0
 	p.base = mem.Addr(msg.Hdr[2])
 	p.size = int(msg.Hdr[3])
@@ -103,16 +129,23 @@ func (rt *Runtime) handleGetReq(th *sim.Thread, x *pami.Context, msg *pami.AMess
 
 func (rt *Runtime) handleGetRep(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
 	id := msg.Hdr[0]
-	p := rt.pend[id]
+	p, ok := rt.pend[id]
+	if !ok {
+		return // duplicate reply to a retried get (fault mode only)
+	}
 	rt.C.Space.CopyIn(p.localAddr, msg.Data)
 	delete(rt.pend, id)
-	p.comp.Finish()
+	p.comp.FinishOnce()
 }
 
 func (rt *Runtime) handlePutReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
 	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
-	rt.copyCost(th, len(msg.Data))
-	rt.C.Space.CopyIn(addr, msg.Data)
+	if !rt.amSeen(msg.Src.Rank, id) {
+		rt.copyCost(th, len(msg.Data))
+		rt.C.Space.CopyIn(addr, msg.Data)
+	}
+	// Always ack, even a duplicate: the initiator's first ack may be the
+	// message that was lost.
 	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
 }
 
@@ -121,15 +154,19 @@ func (rt *Runtime) handlePutReq(th *sim.Thread, x *pami.Context, msg *pami.AMess
 // the protocol exposed one.
 func (rt *Runtime) handleAck(_ *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
 	id := msg.Hdr[0]
-	if p, ok := rt.pend[id]; ok {
-		if p.comp != nil && !p.comp.Done() {
-			p.comp.Finish()
-		}
-		delete(rt.pend, id)
+	p, ok := rt.pend[id]
+	if !ok {
+		return // duplicate ack (fault mode only)
 	}
-	rt.ranks[msg.Src.Rank].unackedAMs--
-	if rt.ranks[msg.Src.Rank].unackedAMs < 0 {
-		panic("armci: ack underflow")
+	if p.comp != nil {
+		p.comp.FinishOnce()
+	}
+	delete(rt.pend, id)
+	if p.counted {
+		rt.ranks[msg.Src.Rank].unackedAMs--
+		if rt.ranks[msg.Src.Rank].unackedAMs < 0 {
+			panic("armci: ack underflow")
+		}
 	}
 }
 
@@ -139,10 +176,14 @@ func (rt *Runtime) handleAccReq(th *sim.Thread, x *pami.Context, msg *pami.AMess
 	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
 	scale := math.Float64frombits(uint64(msg.Hdr[2]))
 	n := len(msg.Data)
-	t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(n))
-	if t > 0 {
-		th.Sleep(t)
+	if !rt.amSeen(msg.Src.Rank, id) {
+		// Accumulate is not idempotent: a duplicated delivery must be
+		// absorbed here, not re-applied.
+		t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(n))
+		if t > 0 {
+			th.Sleep(t)
+		}
+		mem.AddFloat64s(rt.C.Space.Bytes(addr, n), msg.Data, scale)
 	}
-	mem.AddFloat64s(rt.C.Space.Bytes(addr, n), msg.Data, scale)
 	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
 }

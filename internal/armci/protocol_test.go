@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 func TestMutexGrantsFIFO(t *testing.T) {
@@ -297,7 +297,7 @@ func TestNaiveModeTracksUnknownRegions(t *testing.T) {
 
 func TestTraceRecordsProtocolDecisions(t *testing.T) {
 	cfg := atCfg(2)
-	cfg.Trace = trace.NewRecorder(256)
+	cfg.Obs = obs.New()
 	_, err := Run(cfg, func(th *sim.Thread, rt *Runtime) {
 		a := rt.Malloc(th, 4096)
 		if rt.Rank != 0 {
@@ -312,14 +312,16 @@ func TestTraceRecordsProtocolDecisions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rdma := cfg.Trace.Filter(trace.RDMA)
-	if len(rdma) < 2 {
-		t.Fatalf("rdma trace records = %d, want >= 2", len(rdma))
+	byCat := func(cat string) []obs.Event {
+		return cfg.Obs.Events(obs.TrackRank, func(e obs.Event) bool { return e.Cat == cat })
 	}
-	if len(cfg.Trace.Filter(trace.AM)) == 0 {
-		t.Fatal("no AM records (rmw missing)")
+	if rdma := byCat("rdma"); len(rdma) < 2 {
+		t.Fatalf("rdma trace events = %d, want >= 2", len(rdma))
 	}
-	if len(cfg.Trace.Filter(trace.Fence)) == 0 {
-		t.Fatal("no fence records")
+	if len(byCat("am")) == 0 {
+		t.Fatal("no AM events (rmw missing)")
+	}
+	if len(byCat("fence")) == 0 {
+		t.Fatal("no fence events")
 	}
 }

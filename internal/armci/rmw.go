@@ -3,7 +3,6 @@ package armci
 import (
 	"repro/internal/pami"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Read-modify-write operations target an int64 in remote memory. On BG/Q
@@ -13,32 +12,69 @@ import (
 // whenever it happens to enter ARMCI (§III.D). These are the primitives
 // behind NWChem's load-balance counters.
 
-// rmw performs one AMO and returns the prior value.
-func (rt *Runtime) rmw(th *sim.Thread, dst GlobalPtr, op pami.RmwOp, operand, compare int64) int64 {
+// rmw performs one AMO and returns the prior value. On chaos runs it
+// dispatches to the retried, deduped path; the rmw id is stable across
+// retries so the target applies the operation exactly once.
+func (rt *Runtime) rmw(th *sim.Thread, dst GlobalPtr, op pami.RmwOp, operand, compare int64) (int64, error) {
+	if rt.faulty() {
+		return rt.rmwFT(th, dst, op, operand, compare)
+	}
 	var prev int64
 	t0 := th.Now()
 	comp := sim.NewCompletion(rt.W.K)
 	rt.mainCtx.Rmw(th, rt.epSvc(th, dst.Rank), dst.Addr, op, operand, compare, &prev, comp)
 	rt.mainCtx.WaitLocal(th, comp)
 	rt.Stats.Inc("rmw", 1)
-	rt.tr(trace.AM, "rmw", int64(dst.Rank))
+	rt.tr("am", "rmw", int64(dst.Rank))
 	rt.obsOp(opRmw, 8, th.Now()-t0)
-	return prev
+	return prev, nil
 }
 
 // FetchAdd atomically adds delta to the remote counter, returning the
-// prior value (ARMCI_Rmw ARMCI_FETCH_AND_ADD_LONG).
+// prior value (ARMCI_Rmw ARMCI_FETCH_AND_ADD_LONG). On chaos runs an
+// exhausted retry budget panics; use FetchAddErr to handle it.
 func (rt *Runtime) FetchAdd(th *sim.Thread, dst GlobalPtr, delta int64) int64 {
+	prev, err := rt.FetchAddErr(th, dst, delta)
+	if err != nil {
+		panic(err)
+	}
+	return prev
+}
+
+// FetchAddErr is the error-returning fetch-and-add: on chaos runs it is
+// retried under the configured RetryPolicy and applied exactly once.
+func (rt *Runtime) FetchAddErr(th *sim.Thread, dst GlobalPtr, delta int64) (int64, error) {
 	return rt.rmw(th, dst, pami.FetchAdd, delta, 0)
 }
 
 // SwapLong atomically replaces the remote value, returning the prior one.
+// On chaos runs an exhausted retry budget panics; use SwapLongErr.
 func (rt *Runtime) SwapLong(th *sim.Thread, dst GlobalPtr, value int64) int64 {
+	prev, err := rt.SwapLongErr(th, dst, value)
+	if err != nil {
+		panic(err)
+	}
+	return prev
+}
+
+// SwapLongErr is the error-returning atomic swap (see FetchAddErr).
+func (rt *Runtime) SwapLongErr(th *sim.Thread, dst GlobalPtr, value int64) (int64, error) {
 	return rt.rmw(th, dst, pami.Swap, value, 0)
 }
 
 // CompareSwap replaces the remote value with update only if it currently
-// equals expect; either way the prior value is returned.
+// equals expect; either way the prior value is returned. On chaos runs
+// an exhausted retry budget panics; use CompareSwapErr.
 func (rt *Runtime) CompareSwap(th *sim.Thread, dst GlobalPtr, expect, update int64) int64 {
+	prev, err := rt.CompareSwapErr(th, dst, expect, update)
+	if err != nil {
+		panic(err)
+	}
+	return prev
+}
+
+// CompareSwapErr is the error-returning compare-and-swap (see
+// FetchAddErr).
+func (rt *Runtime) CompareSwapErr(th *sim.Thread, dst GlobalPtr, expect, update int64) (int64, error) {
 	return rt.rmw(th, dst, pami.CompareSwap, update, expect)
 }

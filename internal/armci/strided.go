@@ -172,7 +172,8 @@ func (rt *Runtime) NbPutS(th *sim.Thread, local mem.Addr, localStrides []int,
 	m := patchBytes(counts)
 	rt.copyCost(th, m)
 	data := packPatch(rt.C.Space, local, localStrides, counts)
-	id, _ := rt.newPend()
+	id, p := rt.newPend()
+	p.counted = true
 	rt.ranks[dst.Rank].unackedAMs++
 	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dPutSReq,
 		stridedHdr(id, dst.Addr, 0, dstStrides, counts), data)
@@ -254,6 +255,7 @@ func (rt *Runtime) NbAccS(th *sim.Thread, local mem.Addr, localStrides []int,
 	id, p := rt.newPend()
 	comp := sim.NewCompletion(rt.W.K)
 	p.comp = comp
+	p.counted = true
 	rt.ranks[dst.Rank].unackedAMs++
 	rt.mainCtx.SendAM(th, rt.epSvc(th, dst.Rank), dAccSReq,
 		stridedHdr(id, dst.Addr, int64(math.Float64bits(scale)), dstStrides, counts), data)
@@ -273,8 +275,10 @@ func (rt *Runtime) AccS(th *sim.Thread, local mem.Addr, localStrides []int,
 
 func (rt *Runtime) handlePutSReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
 	id, addr, _, strides, counts := decodeStridedHdr(msg.Hdr)
-	rt.copyCost(th, len(msg.Data))
-	unpackPatch(rt.C.Space, addr, strides, counts, msg.Data)
+	if !rt.amSeen(msg.Src.Rank, id) {
+		rt.copyCost(th, len(msg.Data))
+		unpackPatch(rt.C.Space, addr, strides, counts, msg.Data)
+	}
 	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
 }
 
@@ -288,26 +292,31 @@ func (rt *Runtime) handleGetSReq(th *sim.Thread, x *pami.Context, msg *pami.AMes
 
 func (rt *Runtime) handleGetSRep(th *sim.Thread, _ *pami.Context, msg *pami.AMessage) {
 	id := msg.Hdr[0]
-	p := rt.pend[id]
+	p, ok := rt.pend[id]
+	if !ok {
+		return // duplicate reply (fault mode only)
+	}
 	rt.copyCost(th, len(msg.Data))
 	unpackPatch(rt.C.Space, p.localAddr, p.strides, p.counts, msg.Data)
 	delete(rt.pend, id)
-	p.comp.Finish()
+	p.comp.FinishOnce()
 }
 
 func (rt *Runtime) handleAccSReq(th *sim.Thread, x *pami.Context, msg *pami.AMessage) {
 	id, addr, scaleBits, strides, counts := decodeStridedHdr(msg.Hdr)
 	scale := math.Float64frombits(uint64(scaleBits))
-	t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(len(msg.Data)))
-	if t > 0 {
-		th.Sleep(t)
+	if !rt.amSeen(msg.Src.Rank, id) {
+		t := sim.Time(rt.W.Cfg.Params.AccByteCost * float64(len(msg.Data)))
+		if t > 0 {
+			th.Sleep(t)
+		}
+		pos := 0
+		forEachChunk(counts, strides, strides, func(off, _ int) {
+			mem.AddFloat64s(rt.C.Space.Bytes(addr+mem.Addr(off), counts[0]),
+				msg.Data[pos:pos+counts[0]], scale)
+			pos += counts[0]
+		})
 	}
-	pos := 0
-	forEachChunk(counts, strides, strides, func(off, _ int) {
-		mem.AddFloat64s(rt.C.Space.Bytes(addr+mem.Addr(off), counts[0]),
-			msg.Data[pos:pos+counts[0]], scale)
-		pos += counts[0]
-	})
 	x.SendAM(th, msg.Src, dAck, []int64{id}, nil)
 }
 

@@ -1,0 +1,181 @@
+// Package fault provides deterministic, seed-driven fault injection for
+// the simulated Blue Gene/Q machine. A Plan is a declarative script of
+// fault windows — link outages, bandwidth degradation, dead nodes — plus
+// probabilistic per-message perturbations (delay, duplication). The
+// network consults an Injector built from the plan on every send.
+//
+// Determinism is the design constraint everything here serves:
+//
+//   - window faults (LinkDown, LinkSlow, NodeDown) are pure functions of
+//     virtual time, so a query at time t gives the same answer no matter
+//     how the event heap happened to order same-instant events;
+//   - probabilistic faults (Delay, Duplicate) draw from one splitmix64
+//     stream owned by the injector, advanced once per matching rule per
+//     message in network Send order — which the kernel already keeps
+//     deterministic;
+//   - window boundaries are additionally scheduled as ordinary sim
+//     events, so a chaos run's event count and trace include the fault
+//     timeline itself and two runs with the same seed are byte-identical.
+//
+// The package depends only on sim and obs; network imports it, never the
+// reverse.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// LinkDown drops every message traversing the link during the window
+	// (a transient cable/optics failure).
+	LinkDown Kind = iota
+	// LinkSlow serves the link at Factor times its nominal bandwidth
+	// during the window (a degraded lane, per-message serialization is
+	// stretched by 1/Factor).
+	LinkSlow
+	// NodeDown makes a node neither inject nor accept messages during the
+	// window; in-flight traffic addressed to it is dropped at send time.
+	NodeDown
+	// MsgDelay adds Delay to matching messages with probability Prob
+	// (retransmission / congestion spikes).
+	MsgDelay
+	// MsgDup delivers matching messages twice with probability Prob (the
+	// classic at-least-once transport hazard; recovery must dedup).
+	MsgDup
+)
+
+// String names the kind for stats and traces.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link.down"
+	case LinkSlow:
+		return "link.slow"
+	case NodeDown:
+		return "node.down"
+	case MsgDelay:
+		return "msg.delay"
+	case MsgDup:
+		return "msg.dup"
+	}
+	return "?"
+}
+
+// Any matches every link, node, or endpoint in an Event filter field.
+const Any = -1
+
+// Event is one scripted fault. Window faults use [Start, End); message
+// faults apply their probability to sends issued inside the window whose
+// (src, dst) nodes match the filter (Any matches all).
+type Event struct {
+	Kind  Kind
+	Start sim.Time
+	End   sim.Time
+
+	Link     int      // LinkDown, LinkSlow (Any = every link)
+	Node     int      // NodeDown
+	Src, Dst int      // MsgDelay, MsgDup filters (Any = every node)
+	Factor   float64  // LinkSlow: fraction of nominal bandwidth, (0,1]
+	Prob     float64  // MsgDelay, MsgDup: per-message probability
+	Delay    sim.Time // MsgDelay: added latency
+}
+
+// Plan is a reproducible fault script. The zero value injects nothing;
+// builder methods append events and return the plan for chaining.
+type Plan struct {
+	// Seed drives the probabilistic draws (delay/duplicate). It is mixed
+	// with the job seed so two chaos runs differ only when asked to.
+	Seed   uint64
+	Events []Event
+}
+
+// NewPlan returns an empty plan with the given probabilistic seed.
+func NewPlan(seed uint64) *Plan { return &Plan{Seed: seed} }
+
+// LinkDown scripts a transient outage of one link (Any = all links).
+func (p *Plan) LinkDown(link int, start, dur sim.Time) *Plan {
+	p.Events = append(p.Events, Event{Kind: LinkDown, Link: link, Start: start, End: start + dur})
+	return p
+}
+
+// LinkSlow scripts a bandwidth degradation of one link to factor of
+// nominal (Any = all links).
+func (p *Plan) LinkSlow(link int, start, dur sim.Time, factor float64) *Plan {
+	p.Events = append(p.Events, Event{Kind: LinkSlow, Link: link, Start: start, End: start + dur, Factor: factor})
+	return p
+}
+
+// NodeDown scripts a dead-node window.
+func (p *Plan) NodeDown(node int, start, dur sim.Time) *Plan {
+	p.Events = append(p.Events, Event{Kind: NodeDown, Node: node, Start: start, End: start + dur})
+	return p
+}
+
+// Delay scripts probabilistic extra latency on matching messages.
+func (p *Plan) Delay(src, dst int, start, dur sim.Time, prob float64, delay sim.Time) *Plan {
+	p.Events = append(p.Events, Event{Kind: MsgDelay, Src: src, Dst: dst,
+		Start: start, End: start + dur, Prob: prob, Delay: delay})
+	return p
+}
+
+// Duplicate scripts probabilistic double delivery of matching messages.
+func (p *Plan) Duplicate(src, dst int, start, dur sim.Time, prob float64) *Plan {
+	p.Events = append(p.Events, Event{Kind: MsgDup, Src: src, Dst: dst,
+		Start: start, End: start + dur, Prob: prob})
+	return p
+}
+
+// Validate checks the plan against a machine of the given size. nodes and
+// links bound the Node/Link/Src/Dst fields; Any is always legal.
+func (p *Plan) Validate(nodes, links int) error {
+	checkID := func(i int, what string, n int, ev int) error {
+		if i != Any && (i < 0 || i >= n) {
+			return fmt.Errorf("fault: event %d: %s %d out of range [0,%d)", ev, what, i, n)
+		}
+		return nil
+	}
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.Start < 0 || e.End < e.Start {
+			return fmt.Errorf("fault: event %d (%s): window [%d,%d) invalid", i, e.Kind, e.Start, e.End)
+		}
+		switch e.Kind {
+		case LinkDown:
+			if err := checkID(e.Link, "link", links, i); err != nil {
+				return err
+			}
+		case LinkSlow:
+			if err := checkID(e.Link, "link", links, i); err != nil {
+				return err
+			}
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("fault: event %d (link.slow): factor %g not in (0,1]", i, e.Factor)
+			}
+		case NodeDown:
+			if err := checkID(e.Node, "node", nodes, i); err != nil {
+				return err
+			}
+		case MsgDelay, MsgDup:
+			if err := checkID(e.Src, "src node", nodes, i); err != nil {
+				return err
+			}
+			if err := checkID(e.Dst, "dst node", nodes, i); err != nil {
+				return err
+			}
+			if e.Prob < 0 || e.Prob > 1 {
+				return fmt.Errorf("fault: event %d (%s): probability %g not in [0,1]", i, e.Kind, e.Prob)
+			}
+			if e.Kind == MsgDelay && e.Delay < 0 {
+				return fmt.Errorf("fault: event %d (msg.delay): negative delay", i)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}

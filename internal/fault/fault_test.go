@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	ok := NewPlan(1).
+		LinkDown(3, 100, 50).
+		LinkSlow(Any, 0, 10, 0.25).
+		NodeDown(0, 5, 5).
+		Delay(Any, 2, 0, 100, 0.5, 30).
+		Duplicate(1, Any, 0, 100, 0.1)
+	if err := ok.Validate(4, 8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	bad := []*Plan{
+		NewPlan(1).LinkDown(8, 0, 10),              // link out of range
+		NewPlan(1).NodeDown(-2, 0, 10),             // node out of range (not Any)
+		NewPlan(1).LinkSlow(0, 0, 10, 0),           // zero factor
+		NewPlan(1).LinkSlow(0, 0, 10, 1.5),         // factor > 1
+		NewPlan(1).Delay(0, 0, 0, 10, 1.5, 5),      // probability > 1
+		NewPlan(1).Delay(0, 0, 0, 10, 0.5, -1),     // negative delay
+		NewPlan(1).Duplicate(0, 0, 50, -10, 0.5),   // end before start
+		{Events: []Event{{Kind: Kind(99), End: 1}}}, // unknown kind
+	}
+	for i, p := range bad {
+		if err := p.Validate(4, 8); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestWindowQueries(t *testing.T) {
+	k := sim.NewKernel()
+	plan := NewPlan(7).
+		LinkDown(2, 100, 30).
+		LinkSlow(2, 120, 100, 0.5).
+		LinkSlow(Any, 140, 10, 0.25).
+		NodeDown(1, 200, 100)
+	in := NewInjector(k, plan, 0, nil)
+
+	if down, f := in.LinkState(2, 99); down || f != 1 {
+		t.Fatalf("link 2 before window: down=%v factor=%v", down, f)
+	}
+	if down, _ := in.LinkState(2, 100); !down {
+		t.Fatal("link 2 should be down at window start")
+	}
+	if down, _ := in.LinkState(2, 129); !down {
+		t.Fatal("link 2 should be down just before window end")
+	}
+	// After LinkDown ends the LinkSlow windows overlap: minimum wins.
+	if down, f := in.LinkState(2, 145); down || f != 0.25 {
+		t.Fatalf("overlapping slow windows: down=%v factor=%v, want min 0.25", down, f)
+	}
+	if down, f := in.LinkState(2, 160); down || f != 0.5 {
+		t.Fatalf("single slow window: down=%v factor=%v", down, f)
+	}
+	if down, f := in.LinkState(3, 145); down || f != 0.25 {
+		t.Fatalf("Any-link slow window missed link 3: down=%v factor=%v", down, f)
+	}
+
+	if in.NodeDown(1, 199) || !in.NodeDown(1, 200) || in.NodeDown(1, 300) {
+		t.Fatal("NodeDown window boundaries wrong")
+	}
+	if in.NodeDown(0, 250) {
+		t.Fatal("NodeDown leaked to another node")
+	}
+	if v := in.MessageVerdict(1, 3, 250); !v.Drop {
+		t.Fatal("send from dead node should drop")
+	}
+	if v := in.MessageVerdict(3, 1, 250); !v.Drop {
+		t.Fatal("send to dead node should drop")
+	}
+	if v := in.MessageVerdict(2, 3, 250); v.Drop {
+		t.Fatal("send between live nodes dropped")
+	}
+}
+
+// TestVerdictDeterminism: two injectors with the same seed produce the
+// identical verdict sequence; a different seed diverges.
+func TestVerdictDeterminism(t *testing.T) {
+	mk := func(seed uint64) []Verdict {
+		k := sim.NewKernel()
+		plan := NewPlan(seed).
+			Delay(Any, Any, 0, 1_000_000, 0.3, 40).
+			Duplicate(Any, Any, 0, 1_000_000, 0.2)
+		in := NewInjector(k, plan, 42, nil)
+		out := make([]Verdict, 0, 256)
+		for i := 0; i < 256; i++ {
+			out = append(out, in.MessageVerdict(i%4, (i+1)%4, sim.Time(i)*100))
+		}
+		return out
+	}
+	a, b := mk(5), mk(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged under identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical verdict sequences")
+	}
+}
+
+// TestWindowEventsScheduled: window boundaries ride the ordinary event
+// heap, so running the kernel opens every window and extends virtual time
+// to the last boundary.
+func TestWindowEventsScheduled(t *testing.T) {
+	k := sim.NewKernel()
+	plan := NewPlan(1).
+		LinkDown(0, 100, 50).
+		NodeDown(0, 300, 100)
+	in := NewInjector(k, plan, 0, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Windows != 2 {
+		t.Fatalf("Windows = %d, want 2", in.Windows)
+	}
+	if k.Now() != 400 {
+		t.Fatalf("final time %d, want 400 (last window close)", k.Now())
+	}
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -31,6 +32,10 @@ type Network struct {
 	nicFree []sim.Time
 	// linkFree[id] is the time each unidirectional link becomes available.
 	linkFree []sim.Time
+
+	// flt, when non-nil, injects scripted faults into every send. The
+	// healthy hot path pays exactly one nil check.
+	flt *fault.Injector
 
 	// Stats. HopsTotal counts a loopback (same-node) transfer as one hop
 	// — the local MU traversal it pays in the latency model — for both
@@ -94,6 +99,17 @@ func (nw *Network) SetObs(r *obs.Registry) {
 	nw.cStalled = r.Counter("network/nic.stalled")
 }
 
+// SetFault installs a fault injector; every subsequent Send/SendNIC
+// consults it. Nil disables injection. Adaptive routing is not supported
+// under fault injection (the armci layer already refuses the combination;
+// network-layer adaptive studies run fault-free).
+func (nw *Network) SetFault(in *fault.Injector) { nw.flt = in }
+
+// Fault returns the installed injector, nil when faults are off. Upper
+// layers use it both for counters and as the "is this a chaos run" flag
+// that arms their recovery paths.
+func (nw *Network) Fault() *fault.Injector { return nw.flt }
+
 // reserveLink books one unidirectional link for ser starting no earlier
 // than head, queueing behind the current reservation, and returns the
 // (possibly delayed) head time. All three traversal paths (deterministic,
@@ -152,6 +168,10 @@ func (nw *Network) Params() *Params { return nw.params }
 // one hop, matching the observation that ARMCI on BG/Q routes intra-node
 // transfers through the torus injection path.
 func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) {
+	if nw.flt != nil {
+		nw.sendFaulty(srcNode, dstNode, payload, kind, fn)
+		return
+	}
 	p := nw.params
 	now := nw.k.Now()
 	ser := p.SerTime(payload)
@@ -200,6 +220,83 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 	nw.k.At(arrival-now, fn)
 }
 
+// sendFaulty is Send with the installed injector consulted at every
+// stage: the message verdict (dead endpoints, probabilistic delay and
+// duplication) at injection, and per-link state (outage, degradation) at
+// each traversal. A dropped message vanishes — fn is never scheduled —
+// which is exactly the failure the upper layers' timeouts must detect. A
+// duplicated message traverses twice, so the copy pays its own link
+// reservations and arrives later; deduplication is the receiver's
+// problem, as on a real at-least-once transport.
+func (nw *Network) sendFaulty(srcNode, dstNode, payload int, kind MsgKind, fn func()) {
+	v := nw.flt.MessageVerdict(srcNode, dstNode, nw.k.Now())
+	if v.Drop {
+		nw.flt.CountDrop()
+		return
+	}
+	if v.Delay > 0 {
+		nw.flt.CountDelay()
+	}
+	copies := 1
+	if v.Duplicate {
+		copies = 2
+		nw.flt.CountDup()
+	}
+	for i := 0; i < copies; i++ {
+		nw.traverseFaulty(srcNode, dstNode, payload, kind, v.Delay, fn)
+	}
+}
+
+// traverseFaulty runs one copy of a message through the MU and route,
+// applying link-level faults. Each copy books the injection MU and every
+// link separately, so duplicates contend like real retransmissions.
+func (nw *Network) traverseFaulty(srcNode, dstNode, payload int, kind MsgKind, extra sim.Time, fn func()) {
+	p := nw.params
+	now := nw.k.Now()
+	ser := p.SerTime(payload)
+
+	start := now + extra
+	if srcNode != dstNode {
+		if nw.nicFree[srcNode] > start {
+			start = nw.nicFree[srcNode]
+			nw.NicStalled++
+			nw.cStalled.Add(1)
+		}
+		nw.nicFree[srcNode] = start + p.NicMsgOverhead + p.NicMsgGap + ser
+	}
+
+	head := start + p.NicMsgOverhead + p.RouterFixed
+	if kind == Data && payload > 0 && payload < p.UnalignedThreshold {
+		head += p.UnalignedPenalty
+	}
+	route := nw.torus.Route(srcNode, dstNode)
+	hops := len(route)
+	if hops == 0 {
+		head += p.HopLatency
+		hops = 1
+	}
+	tail := ser // the tail trails the head by the last link's effective serialization
+	for _, l := range route {
+		down, factor := nw.flt.LinkState(l.ID(), head)
+		if down {
+			// The head reached a dead link: the message is lost mid-route.
+			// Links already traversed keep their reservations (the bytes
+			// really crossed them).
+			nw.flt.CountDrop()
+			return
+		}
+		serL := ser
+		if factor < 1 {
+			serL = sim.Time(float64(ser) / factor)
+			nw.flt.CountDegraded()
+		}
+		head = nw.reserveLink(l.ID(), head, serL) + p.HopLatency
+		tail = serL
+	}
+	nw.noteSend(payload, hops)
+	nw.k.At(head+tail-now, fn)
+}
+
 // SendNIC injects a NIC-generated response (e.g. a hardware-AMO reply):
 // it is produced inside the messaging unit's atomics engine and bypasses
 // the injection FIFO, so responses do not serialize behind regular
@@ -207,6 +304,12 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 	p := nw.params
 	now := nw.k.Now()
+	if nw.flt != nil {
+		if v := nw.flt.MessageVerdict(srcNode, dstNode, now); v.Drop {
+			nw.flt.CountDrop()
+			return
+		}
+	}
 	ser := p.SerTime(payload)
 	head := now + p.RouterFixed
 	route := nw.torus.Route(srcNode, dstNode) // cached, shared: read-only
@@ -216,6 +319,12 @@ func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 		hops = 1
 	}
 	for _, l := range route {
+		if nw.flt != nil {
+			if down, _ := nw.flt.LinkState(l.ID(), head); down {
+				nw.flt.CountDrop()
+				return
+			}
+		}
 		head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 	}
 	nw.noteSend(payload, hops)

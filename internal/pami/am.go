@@ -106,12 +106,33 @@ func (x *Context) Rmw(th *sim.Thread, dst Endpoint, addr mem.Addr, op RmwOp, ope
 		x.rmwHardware(th, dst, addr, op, operand, compare, result, comp)
 		return
 	}
+	id := x.RmwBegin(result, comp)
+	x.RmwIssue(th, dst, id, addr, op, operand, compare)
+}
+
+// RmwBegin allocates a request id and registers the initiator-side state
+// for one logical read-modify-write. Retry protocols split Rmw into
+// Begin + Issue so a timed-out request can be re-Issued under the same
+// id: the target dedups on (initiator, id), which is what makes the
+// retry of a non-idempotent operation safe.
+func (x *Context) RmwBegin(result *int64, comp *sim.Completion) uint64 {
+	c := x.Client
 	id := c.rmwSeq
 	c.rmwSeq++
 	c.rmwPend[id] = &rmwPending{result: result, comp: comp}
+	return id
+}
+
+// RmwIssue sends (or, on retry, re-sends) the request for an id obtained
+// from RmwBegin.
+func (x *Context) RmwIssue(th *sim.Thread, dst Endpoint, id uint64, addr mem.Addr, op RmwOp, operand, compare int64) {
 	x.SendAM(th, dst, dispatchRmwReq,
 		[]int64{int64(id), int64(addr), int64(op), operand, compare}, nil)
 }
+
+// RmwCancel abandons an id whose retry budget is exhausted; a late reply
+// is then ignored by handleRmwRep.
+func (x *Context) RmwCancel(id uint64) { delete(x.Client.rmwPend, id) }
 
 // rmwHardware is the what-if path (Params.HardwareAMO): the target NIC
 // executes the operation at request arrival, exactly like an RDMA-get
@@ -161,6 +182,18 @@ func handleRmwReq(th *sim.Thread, x *Context, msg *AMessage) {
 	id, addr := msg.Hdr[0], mem.Addr(msg.Hdr[1])
 	op, operand, compare := RmwOp(msg.Hdr[2]), msg.Hdr[3], msg.Hdr[4]
 
+	faulty := c.M.faulty()
+	key := rmwKey{src: msg.Src.Rank, id: uint64(id)}
+	if faulty {
+		// At-least-once delivery: a duplicated or retried request must not
+		// re-apply. Answer duplicates from the cached prior value so the
+		// initiator still gets its reply (the first one may have been lost).
+		if old, seen := c.rmwApplied[key]; seen {
+			x.SendAM(th, msg.Src, dispatchRmwRep, []int64{id, old}, nil)
+			return
+		}
+	}
+
 	old := c.Space.GetInt64(addr)
 	switch op {
 	case FetchAdd:
@@ -174,6 +207,12 @@ func handleRmwReq(th *sim.Thread, x *Context, msg *AMessage) {
 	default:
 		panic(fmt.Sprintf("pami: unknown rmw op %d", op))
 	}
+	if faulty {
+		if c.rmwApplied == nil {
+			c.rmwApplied = make(map[rmwKey]int64)
+		}
+		c.rmwApplied[key] = old
+	}
 	x.SendAM(th, msg.Src, dispatchRmwRep, []int64{id, old}, nil)
 }
 
@@ -182,11 +221,14 @@ func handleRmwRep(th *sim.Thread, x *Context, msg *AMessage) {
 	id := uint64(msg.Hdr[0])
 	pend, ok := c.rmwPend[id]
 	if !ok {
-		panic(fmt.Sprintf("pami: rank %d: rmw reply for unknown id %d", c.Rank, id))
+		// Duplicate or post-cancel reply: the operation already completed
+		// (or was abandoned). Only possible under fault injection; without
+		// it every reply matches exactly one pending request.
+		return
 	}
 	delete(c.rmwPend, id)
 	if pend.result != nil {
 		*pend.result = msg.Hdr[1]
 	}
-	pend.comp.Finish()
+	pend.comp.FinishOnce()
 }

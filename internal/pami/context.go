@@ -107,11 +107,14 @@ func (x *Context) post(it workItem) {
 	x.waiters = x.waiters[:0]
 }
 
-// postCompletion enqueues retirement of a local completion.
+// postCompletion enqueues retirement of a local completion. FinishOnce,
+// not Finish: under fault injection a duplicated delivery (or a retry
+// overlapping its delayed original) can post the same completion twice,
+// and the second retirement is benign by design.
 func (x *Context) postCompletion(comp *sim.Completion) {
 	x.post(workItem{
 		cost: x.Client.M.P.CompletionOverhead,
-		fn:   func(*sim.Thread) { comp.Finish() },
+		fn:   func(*sim.Thread) { comp.FinishOnce() },
 	})
 }
 
@@ -211,6 +214,67 @@ func (x *Context) WaitLocal(th *sim.Thread, comp *sim.Completion) {
 	x.Lock.Unlock(th)
 }
 
+// WaitLocalUntil is WaitLocal with a virtual-time deadline: it drives the
+// progress engine until comp finishes (true) or the clock reaches
+// deadline (false). The deadline is enforced by arming a one-shot wake
+// event the first time the thread parks; the extra event is harmless if
+// the completion wins the race (wait loops tolerate spurious wakes), and
+// it is what pulls a stalled chaos run forward when a message was
+// dropped and nothing else would ever wake the waiter.
+func (x *Context) WaitLocalUntil(th *sim.Thread, comp *sim.Completion, deadline sim.Time) bool {
+	k := x.Client.M.K
+	armed := false
+	x.Lock.Lock(th)
+	for {
+		x.Advance(th)
+		if comp.Done() {
+			x.Lock.Unlock(th)
+			return true
+		}
+		if th.Now() >= deadline {
+			x.Lock.Unlock(th)
+			return false
+		}
+		if !armed {
+			armed = true
+			k.At(deadline-th.Now(), func() { k.Wake(th) })
+		}
+		x.subscribe(th)
+		comp.AddWaiter(th)
+		x.Lock.Unlock(th)
+		th.Park()
+		x.Lock.Lock(th)
+	}
+}
+
+// WaitCondUntil is WaitCond with a virtual-time deadline; pred is
+// evaluated with the context lock held and must be cheap and
+// side-effect free. Returns whether pred held before the deadline.
+func (x *Context) WaitCondUntil(th *sim.Thread, pred func() bool, deadline sim.Time) bool {
+	k := x.Client.M.K
+	armed := false
+	x.Lock.Lock(th)
+	for {
+		x.Advance(th)
+		if pred() {
+			x.Lock.Unlock(th)
+			return true
+		}
+		if th.Now() >= deadline {
+			x.Lock.Unlock(th)
+			return false
+		}
+		if !armed {
+			armed = true
+			k.At(deadline-th.Now(), func() { k.Wake(th) })
+		}
+		x.subscribe(th)
+		x.Lock.Unlock(th)
+		th.Park()
+		x.Lock.Lock(th)
+	}
+}
+
 // WaitAllLocal drives the progress engine until every completion in comps
 // is done.
 func (x *Context) WaitAllLocal(th *sim.Thread, comps []*sim.Completion) {
@@ -287,6 +351,7 @@ type OpSet struct {
 	x         *Context
 	remaining int
 	armed     bool
+	finished  bool
 	comp      *sim.Completion
 }
 
@@ -299,8 +364,14 @@ func (x *Context) NewOpSet(comp *sim.Completion) *OpSet {
 // add registers one more outstanding chunk.
 func (s *OpSet) add() { s.remaining++ }
 
-// done retires one chunk; must be called from simulation context.
+// done retires one chunk; must be called from simulation context. After
+// the set has finished, further retirements are ignored: under fault
+// injection a duplicated delivery can land a chunk twice, and the copy
+// arriving after the last real chunk is not a protocol bug.
 func (s *OpSet) done() {
+	if s.finished {
+		return
+	}
 	s.remaining--
 	if s.remaining < 0 {
 		panic("pami: OpSet chunk over-completion")
@@ -316,7 +387,8 @@ func (s *OpSet) Arm() {
 }
 
 func (s *OpSet) maybeFinish() {
-	if s.armed && s.remaining == 0 {
+	if s.armed && s.remaining == 0 && !s.finished {
+		s.finished = true
 		s.x.postCompletion(s.comp)
 	}
 }

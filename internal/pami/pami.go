@@ -66,6 +66,12 @@ func (m *Machine) SetObs(r *obs.Registry) {
 // Procs returns the number of ranks.
 func (m *Machine) Procs() int { return m.Net.Torus().Procs() }
 
+// faulty reports whether the machine's network has a fault injector
+// installed. Protocol paths branch on it to arm their recovery variants:
+// end-to-end put completion, duplicate-request deduplication, tolerant
+// reply handling. One pointer chase + nil check on the hot path.
+func (m *Machine) faulty() bool { return m.Net.Fault() != nil }
+
 // Space returns rank's address space.
 func (m *Machine) Space(rank int) *mem.Space { return m.spaces[rank] }
 
@@ -107,6 +113,18 @@ type Client struct {
 
 	rmwSeq  uint64
 	rmwPend map[uint64]*rmwPending
+
+	// rmwApplied dedups read-modify-write requests under fault injection:
+	// target-side, keyed by (initiator rank, request id), it caches the
+	// prior value so a duplicated or retried request is answered from the
+	// cache instead of re-applied. Allocated lazily, only in fault mode.
+	rmwApplied map[rmwKey]int64
+}
+
+// rmwKey identifies one rmw request target-side for deduplication.
+type rmwKey struct {
+	src int
+	id  uint64
 }
 
 // NewClient creates rank's client, charging the documented creation cost.

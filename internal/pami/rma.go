@@ -28,6 +28,21 @@ func (x *Context) RdmaPut(th *sim.Thread, dst Endpoint, local, remote mem.Addr, 
 	c.Space.CopyOut(local, buf)
 
 	tgt := c.peer(dst.Rank).Space
+	if c.M.faulty() {
+		// Fault mode: completion is end-to-end, posted only when the bytes
+		// actually land. The MU's optimistic injection-complete ack would
+		// report success for a message the injector then drops; tying the
+		// completion to delivery is what lets a timed wait detect the loss
+		// and retry. RdmaPut is byte-idempotent, so the retry may overlap a
+		// delayed original harmlessly.
+		c.M.Net.Send(c.Node, dst.Node, n, network.Data, func() {
+			tgt.CopyIn(remote, buf)
+			if localComp != nil {
+				x.postCompletion(localComp)
+			}
+		})
+		return
+	}
 	c.M.Net.Send(c.Node, dst.Node, n, network.Data, func() {
 		tgt.CopyIn(remote, buf)
 	})

@@ -159,6 +159,20 @@ func (c *Completion) Finish() {
 	c.cond.Broadcast()
 }
 
+// FinishOnce releases all waiters if the completion is still pending and
+// is a no-op otherwise. Retry protocols use it where an operation may
+// legitimately complete more than once — a duplicated network delivery,
+// or a retry racing its own timed-out original — without turning the
+// benign second completion into a crash. Code that knows completion must
+// be unique should keep using Finish.
+func (c *Completion) FinishOnce() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cond.Broadcast()
+}
+
 // Wait blocks t until Finish is called. Returns immediately if already done.
 func (c *Completion) Wait(t *Thread) {
 	for !c.done {
