@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep figures report scf clean
 
 all: vet test
 
@@ -33,17 +33,33 @@ bench:
 
 # CI gate for the engine: micro benches only; exits non-zero when a
 # zero-allocation invariant (kernel At/Run, network Send) regresses.
+# The second line checks a figure sweep renders byte-identically whether
+# it runs serial or across 4 sweep workers.
 bench-smoke:
 	$(GO) run ./cmd/simbench -smoke -out ''
+	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -parallel 1 > /tmp/fig9-p1.csv
+	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -parallel 4 > /tmp/fig9-p4.csv
+	cmp /tmp/fig9-p1.csv /tmp/fig9-p4.csv
+	@echo "parallel sweep determinism OK"
 
 # Chaos determinism gate: the scripted-fault profile run twice with the
 # same seed must emit byte-identical tables (same event count, same final
-# virtual time, same recovery counters).
+# virtual time, same recovery counters) — at the default worker count,
+# fully serial, and across 4 sweep workers.
 chaos-smoke:
 	$(GO) run ./cmd/armci-bench -chaos -quick > /tmp/chaos1.txt
 	$(GO) run ./cmd/armci-bench -chaos -quick > /tmp/chaos2.txt
 	cmp /tmp/chaos1.txt /tmp/chaos2.txt
+	$(GO) run ./cmd/armci-bench -chaos -quick -parallel 1 > /tmp/chaos-p1.txt
+	cmp /tmp/chaos1.txt /tmp/chaos-p1.txt
+	$(GO) run ./cmd/armci-bench -chaos -quick -parallel 4 > /tmp/chaos-p4.txt
+	cmp /tmp/chaos1.txt /tmp/chaos-p4.txt
 	@echo "chaos determinism OK"
+
+# Parallel-sweep race gate: concurrent whole-simulation isolation and
+# worker-count invariance under the race detector.
+race-sweep:
+	$(GO) test -race -run 'TestSweep|TestConcurrent' .
 
 # Regenerate every figure/table at full scale into results/.
 figures:

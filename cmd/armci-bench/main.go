@@ -13,25 +13,21 @@
 //	                             # timeline and a metrics dump
 //	armci-bench -chaos           # Fig 9 workload under scripted faults
 //	armci-bench -chaos -chaos-seed 7
+//	armci-bench -parallel 1      # force a fully serial sweep (output is
+//	                             # byte-identical at any -parallel value)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/debug"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
 func main() {
-	// Full-figure sweeps run many multi-thousand-event simulations
-	// back-to-back; a higher GOGC trades heap headroom for fewer GC
-	// cycles. Set here in the driver: library packages must not mutate
-	// process-global GC state (internal/sim once did, from an init).
-	debug.SetGCPercent(200)
-
 	fig := flag.String("fig", "all",
 		"figure to regenerate: 3,4,5,6,7,8,9,eq,ctx,cons,strided,route,hw or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -41,7 +37,11 @@ func main() {
 	chaos := flag.Bool("chaos", false,
 		"run the Fig 9 workload under the scripted fault plan (exercises retry/recovery)")
 	chaosSeed := flag.Uint64("chaos-seed", 42, "seed for the -chaos fault plan and jitter")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"sweep worker count (1 = serial); output is byte-identical at any value")
 	flag.Parse()
+
+	bench.SetParallel(*parallel)
 
 	var reg *obs.Registry
 	if *tracePath != "" || *metricsPath != "" {

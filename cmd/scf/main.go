@@ -13,7 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/debug"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -22,19 +22,15 @@ import (
 )
 
 func main() {
-	// Paper-scale runs allocate heavily at startup (thousands of rank
-	// goroutines, global-array backing stores); raising GOGC trades heap
-	// headroom for fewer GC cycles over the multi-minute simulation. This
-	// is a per-process policy choice, so it lives here in the driver —
-	// library packages (internal/sim historically did this in an init)
-	// must not mutate process-global GC state.
-	debug.SetGCPercent(200)
-
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	procs := flag.String("procs", "", "comma-separated process counts (overrides defaults)")
 	iters := flag.Int("iters", 0, "SCF iterations (default 4, quick 2)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"sweep worker count (1 = serial); output is byte-identical at any value")
 	flag.Parse()
+
+	bench.SetParallel(*parallel)
 
 	counts := []int{1024, 2048, 4096}
 	cfg := nwchem.DefaultConfig()

@@ -10,20 +10,23 @@
 //     ns/op + allocs/op;
 //   - scenario benches (the Fig 9 p=4096 load-balance-counter
 //     micro-kernel and a reduced-scale SCF iteration) time one full
-//     simulation per op, best-of-N wall clock.
+//     simulation per op, best-of-N wall clock. The sweep_* scenarios
+//     time a whole figure sweep at GOMAXPROCS workers against its own
+//     serial run (speedup_vs_baseline = measured parallel-sweep speedup
+//     on this machine), verifying CSV byte-identity along the way.
 //
 // -smoke runs only the micro benches and fails (exit 1) when a
 // zero-allocation invariant regresses; CI runs it on every push.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"runtime"
-	"runtime/debug"
 	"runtime/pprof"
 	"sort"
 	"testing"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/nwchem"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -120,6 +124,58 @@ func scenario(name string, reps map[string]result, runs int, fn func()) {
 	reps[name] = finish(name, "scenario", float64(best.Nanoseconds()), allocs)
 }
 
+// sweepScenario times a whole benchmark sweep twice — serial
+// (bench.SetParallel(1)) and parallel (SetParallel(0), i.e. GOMAXPROCS
+// workers) — and records the parallel wall clock with the serial one as
+// its baseline, so speedup_vs_baseline is the measured parallel-sweep
+// speedup on this machine. Every rendering must produce identical CSV
+// bytes; any divergence is a determinism violation and exits 1.
+func sweepScenario(name string, reps map[string]result, runs int, render func() *bench.Grid) {
+	if skip(name) {
+		return
+	}
+	measure := func(workers int) (float64, float64, []byte) {
+		bench.SetParallel(workers)
+		var buf bytes.Buffer
+		render().RenderCSV(&buf) // warm-up + reference bytes
+		ref := append([]byte(nil), buf.Bytes()...)
+		best := time.Duration(1<<63 - 1)
+		var allocs float64
+		var ms0, ms1 runtime.MemStats
+		for i := 0; i < runs; i++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			g := render()
+			d := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			buf.Reset()
+			g.RenderCSV(&buf)
+			if !bytes.Equal(buf.Bytes(), ref) {
+				fmt.Fprintf(os.Stderr,
+					"DETERMINISM VIOLATION: %s output changed between runs at %d workers\n",
+					name, workers)
+				os.Exit(1)
+			}
+			if d < best {
+				best = d
+				allocs = float64(ms1.Mallocs - ms0.Mallocs)
+			}
+		}
+		return float64(best.Nanoseconds()), allocs, ref
+	}
+	serNs, _, serCSV := measure(1)
+	parNs, parAllocs, parCSV := measure(0)
+	if !bytes.Equal(serCSV, parCSV) {
+		fmt.Fprintf(os.Stderr,
+			"DETERMINISM VIOLATION: %s CSV differs between -parallel 1 and -parallel GOMAXPROCS\n",
+			name)
+		os.Exit(1)
+	}
+	reps[name] = result{NsPerOp: parNs, AllocsPerOp: parAllocs,
+		BaselineNsPerOp: serNs, Speedup: serNs / parNs, Kind: "scenario"}
+}
+
 func finish(name, kind string, ns, allocs float64) result {
 	r := result{NsPerOp: ns, AllocsPerOp: allocs, Kind: kind}
 	if base, ok := baselineNs[name]; ok && base > 0 {
@@ -169,9 +225,9 @@ func main() {
 		}()
 	}
 
-	// Same GC posture as the full-scale drivers (cmd/scf, cmd/armci-bench)
-	// so scenario wall clocks are comparable with theirs.
-	debug.SetGCPercent(200)
+	// Same GC posture as the full-scale drivers (they get it through the
+	// sweep engine) so scenario wall clocks are comparable with theirs.
+	sweep.TuneGC()
 
 	reps := make(map[string]result)
 
@@ -279,13 +335,25 @@ func main() {
 		scenario("scf_reduced", reps, 3, func() {
 			nwchem.Experiment(armci.Config{Procs: 256, ProcsPerNode: 16, AsyncThread: true}, scfg)
 		})
+
+		// Parallel sweep engine: whole-table wall clock at GOMAXPROCS
+		// workers against the serial baseline, with CSV byte-identity
+		// enforced at both worker counts.
+		sweepScenario("sweep_fig9", reps, 2, func() *bench.Grid {
+			return bench.Fig9([]int{2, 16, 64, 256}, 8)
+		})
+		sweepScenario("sweep_chaos", reps, 2, func() *bench.Grid {
+			return bench.Chaos([]int{8, 16, 32}, 10, 42)
+		})
+		bench.SetParallel(0) // leave the package at its default
 	}
 
 	rep := report{
 		Schema:         1,
 		BaselineCommit: baselineCommit,
 		Note: "wall-clock cost of simulating (engine hot paths), written by `make bench`; " +
-			"ns figures are machine-dependent, allocs/op are not",
+			"ns figures are machine-dependent, allocs/op are not; sweep_* benches measure " +
+			"the parallel sweep engine against its own serial run on this machine",
 		Benches: reps,
 	}
 

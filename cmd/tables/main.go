@@ -7,14 +7,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"sweep worker count (1 = serial); output is byte-identical at any value")
 	flag.Parse()
+
+	bench.SetParallel(*parallel)
 
 	g := bench.TableII()
 	if *csv {
@@ -23,9 +29,16 @@ func main() {
 		g.Render(os.Stdout)
 	}
 
-	fmt.Println("== partition factorizations (ABCDE x T) ==")
-	for _, p := range []int{2, 64, 256, 1024, 2048, 4096} {
+	// Each factorization is independent; compute them across the sweep
+	// workers and print by process-count index so the order is fixed.
+	procCounts := []int{2, 64, 256, 1024, 2048, 4096}
+	lines := sweep.Map(sweep.New(*parallel, nil), len(procCounts), func(_ *sweep.Ctx, i int) string {
+		p := procCounts[i]
 		tor := topology.ForProcs(p, 16)
-		fmt.Printf("%5d procs: %v  (max %d hops)\n", p, tor, tor.MaxHops())
+		return fmt.Sprintf("%5d procs: %v  (max %d hops)", p, tor, tor.MaxHops())
+	})
+	fmt.Println("== partition factorizations (ABCDE x T) ==")
+	for _, line := range lines {
+		fmt.Println(line)
 	}
 }

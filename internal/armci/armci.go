@@ -88,6 +88,12 @@ type Config struct {
 	// metrics, ARMCI op counts/latencies — into the given registry. Nil
 	// costs one pointer check per instrumentation point.
 	Obs *obs.Registry
+	// Pool, when non-nil, recycles host-side backing arrays (the kernel's
+	// event heap/ring, the region caches' bucket storage) across runs.
+	// Simulated behavior is identical with or without it; only the
+	// process's allocation profile changes. A Pool must not be shared by
+	// concurrent runs — sweep workers each own one.
+	Pool *Pool
 }
 
 // withDefaults validates the configuration and fills in mode defaults.
@@ -231,15 +237,21 @@ func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
 
 // Run builds a world, runs body on every rank, and drives the simulation
 // to completion. Invalid configurations return an error before any
-// simulation work happens.
+// simulation work happens. A configured Pool is consulted for recycled
+// backing arrays up front and harvested again after a clean completion.
 func Run(cfg Config, body func(th *sim.Thread, rt *Runtime)) (*World, error) {
-	k := sim.NewKernel()
+	k := cfg.Pool.kernel()
 	w, err := NewWorld(k, cfg)
 	if err != nil {
+		cfg.Pool.putKernel(k) // unused; hand the arrays straight back
 		return nil, err
 	}
 	w.Start(body)
-	return w, k.Run()
+	if err := k.Run(); err != nil {
+		return w, err
+	}
+	w.recycle(w.Cfg.Pool)
+	return w, nil
 }
 
 // MustRun is Run that fails loudly; experiment harnesses use it.
@@ -355,7 +367,7 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		svcCtx:  c.Contexts[w.svcIdx],
 		eps:     make(map[int]pami.Endpoint),
 		svcEps:  make(map[int]pami.Endpoint),
-		regions: newRegionCache(w.Cfg.RegionCacheCap, w.Cfg.Procs),
+		regions: &regionCache{cap: w.Cfg.RegionCacheCap, byRank: w.Cfg.Pool.regionBuckets(w.Cfg.Procs)},
 		ranks:   make([]rankState, w.Cfg.Procs),
 		pend:    make(map[int64]*pendReq),
 		mutexes: make(map[int]*muState),

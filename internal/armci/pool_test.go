@@ -1,0 +1,75 @@
+package armci
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// poolWorkload is a small multi-rank job touching the region cache and
+// every queue path.
+func poolWorkload(t *testing.T, cfg Config) (events uint64, final sim.Time) {
+	t.Helper()
+	w, err := Run(cfg, func(th *sim.Thread, rt *Runtime) {
+		a := rt.Malloc(th, 1024)
+		local := rt.LocalAlloc(th, 1024)
+		peer := (rt.Rank + 1) % rt.Procs()
+		for i := 0; i < 3; i++ {
+			rt.Put(th, local, a.At(peer), 128)
+			rt.Get(th, a.At(peer), local, 128)
+			rt.FetchAdd(th, a.At(0), 1)
+		}
+		rt.Fence(th, peer)
+		rt.Barrier(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.K.EventsFired(), w.K.Now()
+}
+
+func TestPoolRunsAreIdentical(t *testing.T) {
+	base := Config{Procs: 8, ProcsPerNode: 4, AsyncThread: true, Seed: 11}
+	e0, f0 := poolWorkload(t, base)
+
+	p := NewPool()
+	pooled := base
+	pooled.Pool = p
+	for i := 0; i < 3; i++ {
+		e, f := poolWorkload(t, pooled)
+		if e != e0 || f != f0 {
+			t.Fatalf("pooled run %d diverges: (%d,%d) vs (%d,%d)", i, e, f, e0, f0)
+		}
+	}
+	if len(p.buckets) == 0 {
+		t.Fatal("pool harvested no region-cache buckets")
+	}
+}
+
+func TestPoolBucketReuseAcrossSizes(t *testing.T) {
+	p := NewPool()
+	big := Config{Procs: 8, ProcsPerNode: 4, AsyncThread: true, Pool: p}
+	poolWorkload(t, big)
+	if len(p.buckets) != 8 {
+		t.Fatalf("expected 8 recycled bucket arrays, got %d", len(p.buckets))
+	}
+	// A smaller world reslices recycled arrays; a fresh big one refills.
+	small := big
+	small.Procs = 4
+	e, f := poolWorkload(t, small)
+	eRef, fRef := poolWorkload(t, Config{Procs: 4, ProcsPerNode: 4, AsyncThread: true})
+	if e != eRef || f != fRef {
+		t.Fatalf("shrunken pooled world diverges: (%d,%d) vs (%d,%d)", e, f, eRef, fRef)
+	}
+}
+
+func TestPoolNilIsNoop(t *testing.T) {
+	var p *Pool
+	if k := p.kernel(); k == nil {
+		t.Fatal("nil pool must still build kernels")
+	}
+	if b := p.regionBuckets(4); len(b) != 4 {
+		t.Fatal("nil pool must still build buckets")
+	}
+	p.putRegionBuckets(make([][]remoteRegion, 2)) // no-op, no panic
+}

@@ -4,8 +4,13 @@ import (
 	"repro/internal/armci"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
+
+// Every ablation below assembles its grid from a sweep.Map result slice,
+// indexed by configuration — row order is fixed by the config list, never
+// by completion order, so tables are byte-stable at any -parallel N.
 
 // AblationContexts quantifies §III.D's multiple-context design. With a
 // single context (rho=1) the asynchronous thread and the main thread
@@ -21,43 +26,60 @@ import (
 func AblationContexts(opsEach int) *Grid {
 	g := &Grid{Title: "Ablation (SIII.D): async thread with 1 vs 2 PAMI contexts",
 		Header: []string{"contexts", "main_get_us", "lock_contended"}}
-	const accBytes = 64 * 1024 // ~16 us of target-side apply time each
-	for _, nCtx := range []int{1, 2} {
-		cfg := obsCfg(armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx})
-		lat := sim.NewSeries(false)
-		var contended uint64
-		var done bool
-		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
-			a := rt.Malloc(th, accBytes)
-			b := rt.Malloc(th, 4096)
-			switch rt.Rank {
-			case 0:
-				local := rt.LocalAlloc(th, 4096)
-				// Let the accumulate flood establish itself first.
-				th.Sleep(400 * sim.Microsecond)
-				for i := 0; i < opsEach; i++ {
-					t0 := th.Now()
-					rt.Get(th, b.At(1), local, 1024)
-					lat.AddTime(th.Now() - t0)
-				}
-				done = true
-				for _, x := range rt.C.Contexts {
-					contended += x.Lock.Contended
-				}
-			case 2:
-				// Paced accumulate flood: ~80% duty cycle on rank 0's
-				// service context, without unbounded queue growth.
-				local := rt.LocalAlloc(th, accBytes)
-				for !done {
-					rt.NbAcc(th, local, a.At(0), accBytes, 1.0)
-					th.Sleep(20 * sim.Microsecond)
-				}
-			}
-		})
-		g.AddF(2, float64(nCtx), lat.Mean(), float64(contended))
+	ctxCounts := []int{1, 2}
+	type point struct {
+		meanUS    float64
+		contended uint64
+	}
+	pts := sweep.Map(engine(), len(ctxCounts), func(c *sweep.Ctx, i int) point {
+		return ablationContextsPoint(c, ctxCounts[i], opsEach)
+	})
+	for i, nCtx := range ctxCounts {
+		g.AddF(2, float64(nCtx), pts[i].meanUS, float64(pts[i].contended))
 	}
 	g.Note("rho=2 isolates the main thread's completions from remote service")
 	return g
+}
+
+func ablationContextsPoint(c *sweep.Ctx, nCtx, opsEach int) (pt struct {
+	meanUS    float64
+	contended uint64
+}) {
+	const accBytes = 64 * 1024 // ~16 us of target-side apply time each
+	cfg := c.Cfg(armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx})
+	lat := sim.NewSeries(false)
+	var contended uint64
+	var done bool
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, accBytes)
+		b := rt.Malloc(th, 4096)
+		switch rt.Rank {
+		case 0:
+			local := rt.LocalAlloc(th, 4096)
+			// Let the accumulate flood establish itself first.
+			th.Sleep(400 * sim.Microsecond)
+			for i := 0; i < opsEach; i++ {
+				t0 := th.Now()
+				rt.Get(th, b.At(1), local, 1024)
+				lat.AddTime(th.Now() - t0)
+			}
+			done = true
+			for _, x := range rt.C.Contexts {
+				contended += x.Lock.Contended
+			}
+		case 2:
+			// Paced accumulate flood: ~80% duty cycle on rank 0's
+			// service context, without unbounded queue growth.
+			local := rt.LocalAlloc(th, accBytes)
+			for !done {
+				rt.NbAcc(th, local, a.At(0), accBytes, 1.0)
+				th.Sleep(20 * sim.Microsecond)
+			}
+		}
+	})
+	pt.meanUS = lat.Mean()
+	pt.contended = contended
+	return pt
 }
 
 // AblationHardwareAMO answers the paper's closing question (§IV.B.3):
@@ -69,19 +91,26 @@ func AblationContexts(opsEach int) *Grid {
 func AblationHardwareAMO(procCounts []int, opsEach int) *Grid {
 	g := &Grid{Title: "Ablation (SIV.B.3): software AMO (async thread) vs hardware NIC AMO",
 		Header: []string{"procs", "AT_software_us", "hw_amo_us"}}
-	for _, p := range procCounts {
-		sw := Fig9PointC(p, 1, true, true, opsEach)
-		hw := hardwareAMOPoint(p, opsEach)
-		g.AddF(2, float64(p), sw, hw)
+	// Two independent simulations per process count: even indices are the
+	// software path, odd the hardware path.
+	vals := sweep.Map(engine(), 2*len(procCounts), func(c *sweep.Ctx, i int) float64 {
+		p := procCounts[i/2]
+		if i%2 == 0 {
+			return fig9Point(c, p, 1, true, true, opsEach)
+		}
+		return hardwareAMOPoint(c, p, opsEach)
+	})
+	for i, p := range procCounts {
+		g.AddF(2, float64(p), vals[2*i], vals[2*i+1])
 	}
 	g.Note("one rank per node; hardware AMOs make the async thread unnecessary")
 	return g
 }
 
-func hardwareAMOPoint(procs, opsEach int) float64 {
+func hardwareAMOPoint(c *sweep.Ctx, procs, opsEach int) float64 {
 	params := network.DefaultParams()
 	params.HardwareAMO = true
-	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: 1, Params: params})
+	cfg := c.Cfg(armci.Config{Procs: procs, ProcsPerNode: 1, Params: params})
 	var doneWorkers int
 	lat := sim.NewSeries(false)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
@@ -111,36 +140,42 @@ func hardwareAMOPoint(procs, opsEach int) float64 {
 func AblationStridedProtocol(l0s []int, total int) *Grid {
 	g := &Grid{Title: "Ablation (SIII.C.2): chunk-list RDMA vs pack/unpack for strided puts",
 		Header: []string{"l0_bytes", "chunks_us", "packed_us"}}
-	measure := func(l0 int, forceTyped bool) float64 {
-		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
-		if forceTyped {
-			cfg.TypedThreshold = total + 1 // everything takes the packed path
-		} else {
-			cfg.TypedThreshold = 1 // everything takes chunk-list RDMA
-		}
-		var us float64
-		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
-			a := rt.Malloc(th, total)
-			if rt.Rank != 0 {
-				return
-			}
-			local := rt.LocalAlloc(th, total)
-			counts := []int{l0, total / l0}
-			strides := []int{l0}
-			rt.PutS(th, local, strides, a.At(1), strides, counts) // warm
-			rt.Fence(th, 1)
-			t0 := th.Now()
-			rt.PutS(th, local, strides, a.At(1), strides, counts)
-			rt.Fence(th, 1)
-			us = sim.ToMicros(th.Now() - t0)
-		})
-		return us
-	}
-	for _, l0 := range l0s {
-		g.AddF(2, float64(l0), measure(l0, false), measure(l0, true))
+	// Two independent simulations per chunk size: even indices force the
+	// chunk-list path, odd the packed path.
+	vals := sweep.Map(engine(), 2*len(l0s), func(c *sweep.Ctx, i int) float64 {
+		return stridedPoint(c, l0s[i/2], total, i%2 == 1)
+	})
+	for i, l0 := range l0s {
+		g.AddF(2, float64(l0), vals[2*i], vals[2*i+1])
 	}
 	g.Note("%d-byte patch; packed path also needs target progress (not shown: D-mode stalls)", total)
 	return g
+}
+
+func stridedPoint(c *sweep.Ctx, l0, total int, forceTyped bool) float64 {
+	cfg := c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
+	if forceTyped {
+		cfg.TypedThreshold = total + 1 // everything takes the packed path
+	} else {
+		cfg.TypedThreshold = 1 // everything takes chunk-list RDMA
+	}
+	var us float64
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, total)
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, total)
+		counts := []int{l0, total / l0}
+		strides := []int{l0}
+		rt.PutS(th, local, strides, a.At(1), strides, counts) // warm
+		rt.Fence(th, 1)
+		t0 := th.Now()
+		rt.PutS(th, local, strides, a.At(1), strides, counts)
+		rt.Fence(th, 1)
+		us = sim.ToMicros(th.Now() - t0)
+	})
+	return us
 }
 
 // AblationRouting quantifies the deterministic-vs-dynamic routing gap
@@ -177,8 +212,18 @@ func AblationRouting(flows, sizeKB int) *Grid {
 		}
 		return sim.ToMicros(last)
 	}
+	var flowCounts []int
 	for n := 4; n <= flows; n *= 2 {
-		g.AddF(1, float64(n), makespan(false, n), makespan(true, n))
+		flowCounts = append(flowCounts, n)
+	}
+	// Pure network-layer simulations (no ARMCI world, no registry); one
+	// sweep task per flow count measures both routing modes.
+	type point struct{ dor, adaptive float64 }
+	pts := sweep.Map(engine(), len(flowCounts), func(c *sweep.Ctx, i int) point {
+		return point{dor: makespan(false, flowCounts[i]), adaptive: makespan(true, flowCounts[i])}
+	})
+	for i, n := range flowCounts {
+		g.AddF(1, float64(n), pts[i].dor, pts[i].adaptive)
 	}
 	g.Note("%d KB per flow into node 0 of a 4x4x4x2x2 torus", sizeKB)
 	return g
@@ -191,10 +236,14 @@ func AblationRouting(flows, sizeKB int) *Grid {
 func AblationConsistency(tiles int) *Grid {
 	g := &Grid{Title: "Ablation (SIII.E): naive cs_tgt vs per-region cs_mr tracking",
 		Header: []string{"mode", "time_ms", "fences", "avoided"}}
-	for _, mode := range []armci.ConsistencyMode{armci.ConsistencyNaive, armci.ConsistencyPerRegion} {
-		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: mode})
-		var elapsed sim.Time
-		var fences, avoided int64
+	modes := []armci.ConsistencyMode{armci.ConsistencyNaive, armci.ConsistencyPerRegion}
+	type point struct {
+		elapsed         sim.Time
+		fences, avoided int64
+	}
+	pts := sweep.Map(engine(), len(modes), func(c *sweep.Ctx, i int) point {
+		var pt point
+		cfg := c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: modes[i]})
 		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 			const tile = 16 * 1024
 			A := rt.Malloc(th, tile)
@@ -213,16 +262,18 @@ func AblationConsistency(tiles int) *Grid {
 				rt.Get(th, B.At(1), local, tile)
 			}
 			rt.Fence(th, 1)
-			elapsed = th.Now() - t0
-			fences = rt.Stats.Get("fence")
-			avoided = rt.Stats.Get("conflict.avoided")
+			pt.elapsed = th.Now() - t0
+			pt.fences = rt.Stats.Get("fence")
+			pt.avoided = rt.Stats.Get("conflict.avoided")
 		})
+		return pt
+	})
+	for i, mode := range modes {
 		name := "naive"
 		if mode == armci.ConsistencyPerRegion {
 			name = "per-region"
 		}
-		g.Add(name,
-			f3(sim.ToMillis(elapsed)), i64(fences), i64(avoided))
+		g.Add(name, f3(sim.ToMillis(pts[i].elapsed)), i64(pts[i].fences), i64(pts[i].avoided))
 	}
 	g.Note("reads of A/B must not fence the in-flight accumulates to C")
 	return g

@@ -3,6 +3,7 @@ package bench
 import (
 	"repro/internal/armci"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Fig9Point measures the mean fetch-and-add latency observed by ranks
@@ -14,13 +15,23 @@ import (
 //   - compute=true: rank 0 "computes" in ~300 us chunks between progress
 //     opportunities (t_compute in §IV.B.3).
 func Fig9Point(procs int, async, compute bool, opsEach int) float64 {
-	return Fig9PointC(procs, 16, async, compute, opsEach)
+	return one(func(c *sweep.Ctx) float64 {
+		return fig9Point(c, procs, 16, async, compute, opsEach)
+	})
 }
 
 // Fig9PointC is Fig9Point with an explicit processes-per-node placement
 // (the ablations use 1/node to expose target-side serialization).
 func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
-	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async})
+	return one(func(c *sweep.Ctx) float64 {
+		return fig9Point(c, procs, perNode, async, compute, opsEach)
+	})
+}
+
+// fig9Point is one independent simulation: one (procs, placement, mode)
+// sweep point, safe to run concurrently with its siblings.
+func fig9Point(c *sweep.Ctx, procs, perNode int, async, compute bool, opsEach int) float64 {
+	cfg := c.Cfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async})
 	var doneWorkers int
 	lat := sim.NewSeries(false)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
@@ -48,21 +59,31 @@ func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
 	return lat.Mean()
 }
 
+// fig9Variants is the figure's column order: {default, async-thread} x
+// {idle, computing} rank 0.
+var fig9Variants = []struct{ async, compute bool }{
+	{false, false}, {true, false}, {false, true}, {true, true},
+}
+
 // Fig9 regenerates the read-modify-write figure: average fetch-and-add
 // latency versus process count for {default, async-thread} x {idle,
 // computing} rank 0. Expected shape: D and AT comparable when rank 0 is
 // idle; D collapses once rank 0 computes; AT latency grows linearly with
 // p (no hardware AMOs to offload to).
+//
+// All len(procCounts) x 4 sweep points are independent simulations and
+// fan out across the sweep workers; rows are keyed by configuration
+// index, so the table is identical at any worker count.
 func Fig9(procCounts []int, opsEach int) *Grid {
 	g := &Grid{Title: "Fig 9: fetch-and-add latency on a rank-0 counter",
 		Header: []string{"procs", "D_idle_us", "AT_idle_us", "D_compute_us", "AT_compute_us"}}
-	for _, p := range procCounts {
-		g.AddF(2, float64(p),
-			Fig9Point(p, false, false, opsEach),
-			Fig9Point(p, true, false, opsEach),
-			Fig9Point(p, false, true, opsEach),
-			Fig9Point(p, true, true, opsEach),
-		)
+	nv := len(fig9Variants)
+	vals := sweep.Map(engine(), len(procCounts)*nv, func(c *sweep.Ctx, i int) float64 {
+		v := fig9Variants[i%nv]
+		return fig9Point(c, procCounts[i/nv], 16, v.async, v.compute, opsEach)
+	})
+	for pi, p := range procCounts {
+		g.AddF(2, float64(p), vals[pi*nv], vals[pi*nv+1], vals[pi*nv+2], vals[pi*nv+3])
 	}
 	g.Note("t_compute = 300 us chunks on rank 0, as in the paper")
 	return g

@@ -9,6 +9,7 @@ import (
 	"repro/internal/armci"
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // chaosBlock is the per-worker pattern-block size for put/get verify.
@@ -77,7 +78,14 @@ func (r ChaosResult) Clean() bool {
 // script, using the error-returning blocking API throughout. Same seed,
 // same result, byte for byte.
 func ChaosRun(procs, perNode, opsEach int, seed uint64) ChaosResult {
-	cfg := obsCfg(armci.Config{
+	return one(func(c *sweep.Ctx) ChaosResult {
+		return chaosRun(c, procs, perNode, opsEach, seed)
+	})
+}
+
+// chaosRun is one independent chaos simulation (one sweep point).
+func chaosRun(c *sweep.Ctx, procs, perNode, opsEach int, seed uint64) ChaosResult {
+	cfg := c.Cfg(armci.Config{
 		Procs:        procs,
 		ProcsPerNode: perNode,
 		AsyncThread:  true,
@@ -180,14 +188,18 @@ func Chaos(procCounts []int, opsEach int, seed uint64) *Grid {
 		fmt.Sprint(seed) + ")",
 		Header: []string{"procs", "ops", "counter", "clean", "retries",
 			"timeouts", "recovered", "dropped", "dup_seen", "events", "time_us"}}
-	for _, p := range procCounts {
-		r := ChaosRun(p, 4, opsEach, seed)
+	// One independent simulation per process count, fanned across the
+	// sweep workers; row i is always procCounts[i]'s run.
+	results := sweep.Map(engine(), len(procCounts), func(c *sweep.Ctx, i int) ChaosResult {
+		return chaosRun(c, procCounts[i], 4, opsEach, seed)
+	})
+	for _, r := range results {
 		clean := "yes"
 		if !r.Clean() {
 			clean = "NO"
 		}
 		g.Add(
-			fmt.Sprint(p), fmt.Sprint(r.Ops), fmt.Sprint(r.Counter), clean,
+			fmt.Sprint(r.Procs), fmt.Sprint(r.Ops), fmt.Sprint(r.Counter), clean,
 			fmt.Sprint(r.Retries), fmt.Sprint(r.Timeouts), fmt.Sprint(r.Recovered),
 			fmt.Sprint(r.Dropped), fmt.Sprint(r.DupsSeen),
 			fmt.Sprint(r.EventsFired),

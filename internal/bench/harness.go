@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// The package-level harness state: a parent registry (optional) and a
+// worker count, from which sweep engines are built lazily. These are the
+// only mutable globals in the package — every simulation runs against a
+// per-run child registry and a per-worker pool handed to it by the sweep
+// engine, so concurrent sweep points never touch shared state.
+var (
+	mu      sync.Mutex
+	parent  *obs.Registry
+	workers int // <= 0 selects GOMAXPROCS
+	eng     *sweep.Engine
+)
+
+// SetObs installs (or, with nil, removes) the registry benchmark runs
+// report into. Each run records into an isolated child; children merge
+// back in configuration order, so the registry's exported bytes are
+// identical at every worker count.
+func SetObs(r *obs.Registry) {
+	mu.Lock()
+	defer mu.Unlock()
+	parent = r
+	eng = nil
+}
+
+// SetParallel sets the sweep worker count for subsequent benchmark
+// sweeps (<= 0 selects GOMAXPROCS; 1 reproduces fully serial execution).
+func SetParallel(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	workers = n
+	eng = nil
+}
+
+// engine returns the current sweep engine, building it on first use or
+// after a SetObs/SetParallel change.
+func engine() *sweep.Engine {
+	mu.Lock()
+	defer mu.Unlock()
+	if eng == nil {
+		eng = sweep.New(workers, parent)
+	}
+	return eng
+}
+
+// one runs a single simulation task through the sweep engine, so even
+// standalone figure runs get the per-run registry and the worker pool's
+// recycled arrays.
+func one[T any](fn func(c *sweep.Ctx) T) T {
+	return sweep.Map(engine(), 1, func(c *sweep.Ctx, _ int) T { return fn(c) })[0]
+}

@@ -4,21 +4,28 @@ import (
 	"repro/internal/armci"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // twoProcCfg is the Fig 3-6/8 setup: two processes on adjacent nodes.
-func twoProcCfg() armci.Config {
-	return obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
+func twoProcCfg(c *sweep.Ctx) armci.Config {
+	return c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true})
 }
 
 // Fig3 regenerates the contiguous latency figure: blocking get and put
 // latency versus message size between adjacent nodes. Paper headline:
 // get(16 B) = 2.89 us, put(16 B) = 2.7 us, with a dip at 256 B.
 func Fig3(sizes []int, iters int) *Grid {
+	return one(func(c *sweep.Ctx) *Grid { return fig3(c, sizes, iters) })
+}
+
+// fig3 is one simulation: the size loop runs inside a single world so
+// warmed caches carry across sizes, exactly as the paper measures.
+func fig3(c *sweep.Ctx, sizes []int, iters int) *Grid {
 	g := &Grid{Title: "Fig 3: contiguous get/put latency (adjacent nodes)",
 		Header: []string{"bytes", "get_us", "put_us"}}
 	maxSize := sizes[len(sizes)-1]
-	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+	armci.MustRun(twoProcCfg(c), func(th *sim.Thread, rt *armci.Runtime) {
 		aGet := rt.Malloc(th, maxSize)
 		aPut := rt.Malloc(th, maxSize)
 		if rt.Rank != 0 {
@@ -62,10 +69,14 @@ func bwIters(m int) int {
 // bandwidth versus message size. Paper headline: peak 1775 MB/s; the get
 // round-trip overhead is visible until ~8 KB.
 func Fig4(sizes []int, window int) *Grid {
+	return one(func(c *sweep.Ctx) *Grid { return fig4(c, sizes, window) })
+}
+
+func fig4(c *sweep.Ctx, sizes []int, window int) *Grid {
 	g := &Grid{Title: "Fig 4: contiguous get/put bandwidth (adjacent nodes)",
 		Header: []string{"bytes", "get_MBs", "put_MBs"}}
 	maxSize := sizes[len(sizes)-1]
-	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+	armci.MustRun(twoProcCfg(c), func(th *sim.Thread, rt *armci.Runtime) {
 		aGet := rt.Malloc(th, maxSize)
 		aPut := rt.Malloc(th, maxSize)
 		if rt.Rank != 0 {
@@ -158,9 +169,13 @@ func Fig6(sizes []int, window int) *Grid {
 // tracking torus hop distance under the ABCDET mapping, min 2.89 us,
 // +35 ns per hop per direction.
 func Fig7(procs, perNode, iters, rankStride int) *Grid {
+	return one(func(c *sweep.Ctx) *Grid { return fig7(c, procs, perNode, iters, rankStride) })
+}
+
+func fig7(c *sweep.Ctx, procs, perNode, iters, rankStride int) *Grid {
 	g := &Grid{Title: "Fig 7: get latency vs process rank (ABCDET mapping)",
 		Header: []string{"rank", "hops", "latency_us"}}
-	cfg := obsCfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: true,
+	cfg := c.Cfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: true,
 		RegionCacheCap: 8}) // small cache: the LFU path is part of the story
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, 64)
@@ -186,9 +201,13 @@ func Fig7(procs, perNode, iters, rankStride int) *Grid {
 // fixed 1 MB patch as the contiguous chunk size l0 varies. The curve
 // should track Fig 4 evaluated at message size l0.
 func Fig8(l0s []int, total int) *Grid {
+	return one(func(c *sweep.Ctx) *Grid { return fig8(c, l0s, total) })
+}
+
+func fig8(c *sweep.Ctx, l0s []int, total int) *Grid {
 	g := &Grid{Title: "Fig 8: strided get/put bandwidth vs chunk size (1MB total)",
 		Header: []string{"l0_bytes", "get_MBs", "put_MBs"}}
-	armci.MustRun(twoProcCfg(), func(th *sim.Thread, rt *armci.Runtime) {
+	armci.MustRun(twoProcCfg(c), func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, total)
 		if rt.Rank != 0 {
 			return

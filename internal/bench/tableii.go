@@ -7,6 +7,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/pami"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -59,38 +60,20 @@ func TableII() *Grid {
 // (Eqs. 7-9): RDMA get vs the active-message fallback at several sizes.
 // The fallback must cost one extra remote software overhead (the second o
 // of Eq. 8) and strictly dominate RDMA.
+//
+// The two protocol variants are independent simulations and run as two
+// sweep tasks; columns are keyed by variant index.
 func EqValidation(sizes []int, iters int) *Grid {
 	g := &Grid{Title: "Eq 7/8: RDMA get vs fallback get (measured, us)",
 		Header: []string{"bytes", "rdma_us", "fallback_us", "ratio"}}
 
-	measure := func(maxRegions int) []float64 {
-		var out []float64
-		cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true,
-			MaxRegions: maxRegions})
-		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
-			a := rt.Malloc(th, sizes[len(sizes)-1])
-			if rt.Rank != 0 {
-				return
-			}
-			local := rt.LocalAlloc(th, sizes[len(sizes)-1])
-			rt.Get(th, a.At(1), local, 16) // warm
-			for _, m := range sizes {
-				t0 := th.Now()
-				for i := 0; i < iters; i++ {
-					rt.Get(th, a.At(1), local, m)
-				}
-				out = append(out, sim.ToMicros(th.Now()-t0)/float64(iters))
-			}
-		})
-		return out
-	}
-
-	rdma := measure(0)
-	// MaxRegions=0 is unlimited; a tiny budget (consumed by nothing,
-	// since even Malloc registration fails at 0... use 1: the first
-	// Malloc of the *other* rank registers, ours does too; force misses
-	// by allowing zero local registrations) — use a dedicated config:
-	fallback := measureFallback(sizes, iters)
+	cols := sweep.Map(engine(), 2, func(c *sweep.Ctx, i int) []float64 {
+		if i == 0 {
+			return measureRDMA(c, sizes, iters)
+		}
+		return measureFallback(c, sizes, iters)
+	})
+	rdma, fallback := cols[0], cols[1]
 	for i, m := range sizes {
 		g.AddF(3, float64(m), rdma[i], fallback[i], fallback[i]/rdma[i])
 	}
@@ -98,9 +81,34 @@ func EqValidation(sizes []int, iters int) *Grid {
 	return g
 }
 
-func measureFallback(sizes []int, iters int) []float64 {
+// measureRDMA times blocking gets with unlimited region registrations
+// (MaxRegions=0), so every transfer takes the RDMA fast path.
+func measureRDMA(c *sweep.Ctx, sizes []int, iters int) []float64 {
 	var out []float64
-	cfg := obsCfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, MaxRegions: -1})
+	cfg := c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, MaxRegions: 0})
+	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, sizes[len(sizes)-1])
+		if rt.Rank != 0 {
+			return
+		}
+		local := rt.LocalAlloc(th, sizes[len(sizes)-1])
+		rt.Get(th, a.At(1), local, 16) // warm
+		for _, m := range sizes {
+			t0 := th.Now()
+			for i := 0; i < iters; i++ {
+				rt.Get(th, a.At(1), local, m)
+			}
+			out = append(out, sim.ToMicros(th.Now()-t0)/float64(iters))
+		}
+	})
+	return out
+}
+
+// measureFallback disables local registration entirely (MaxRegions=-1),
+// forcing every get onto the active-message fallback of Eq. 8.
+func measureFallback(c *sweep.Ctx, sizes []int, iters int) []float64 {
+	var out []float64
+	cfg := c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, MaxRegions: -1})
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, sizes[len(sizes)-1])
 		if rt.Rank != 0 {

@@ -29,8 +29,9 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a last-or-max value. The nil handle is a no-op.
 type Gauge struct {
-	v   int64
-	set bool
+	v     int64
+	set   bool
+	isMax bool // last write style; Registry.Merge replays it cross-run
 }
 
 // Set records v as the current value.
@@ -38,7 +39,7 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v, g.set = v, true
+	g.v, g.set, g.isMax = v, true, false
 }
 
 // SetMax records v only if it exceeds the current value (high-water mark
@@ -47,6 +48,7 @@ func (g *Gauge) SetMax(v int64) {
 	if g == nil {
 		return
 	}
+	g.isMax = true
 	if !g.set || v > g.v {
 		g.v, g.set = v, true
 	}

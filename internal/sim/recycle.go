@@ -1,0 +1,58 @@
+package sim
+
+// Spares holds backing arrays harvested from a finished kernel so the
+// next simulation in a sweep reuses their capacity instead of growing
+// fresh ones from zero. A Spares value is plain host-side storage: reuse
+// changes nothing about simulated behavior, only the allocation profile.
+// It is not safe for concurrent use — each sweep worker owns its own.
+type Spares struct {
+	heap    []event
+	ring    []event
+	threads []*Thread
+}
+
+// NewKernelWith returns an empty kernel at virtual time zero, adopting
+// any backing arrays sp holds (sp may be nil or empty, in which case it
+// behaves exactly like NewKernel). Adopted arrays are removed from sp.
+func NewKernelWith(sp *Spares) *Kernel {
+	k := NewKernel()
+	if sp == nil {
+		return k
+	}
+	if sp.heap != nil {
+		k.heap = sp.heap[:0]
+	}
+	if sp.ring != nil {
+		// The ring buffer is drained and zeroed when the previous run
+		// finished; its length is a power of two by construction.
+		k.ring.buf = sp.ring
+	}
+	if sp.threads != nil {
+		k.threads = sp.threads[:0]
+	}
+	sp.heap, sp.ring, sp.threads = nil, nil, nil
+	return k
+}
+
+// Recycle moves k's backing arrays into sp, replacing whatever sp held.
+// Only a finished kernel may be recycled: Run must have returned nil (no
+// pending events, no live threads). The kernel's scalar state — clock,
+// event count — stays readable; only the queue and thread storage is
+// surrendered.
+func (k *Kernel) Recycle(sp *Spares) {
+	if sp == nil {
+		return
+	}
+	if k.running || k.Pending() != 0 || k.live > 0 {
+		panic("sim: Recycle on a kernel that has not finished cleanly")
+	}
+	for i := range k.threads {
+		k.threads[i] = nil // release finished Thread structs to the GC
+	}
+	sp.heap = k.heap[:0]
+	sp.ring = k.ring.buf
+	sp.threads = k.threads[:0]
+	k.heap = nil
+	k.ring = fifoRing{}
+	k.threads = nil
+}

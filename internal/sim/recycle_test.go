@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// workload exercises the heap, the zero-delay ring, and threads.
+func recycleWorkload(k *Kernel) (events uint64, final Time) {
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(th *Thread) {
+			for j := 0; j < 50; j++ {
+				th.Sleep(Time(1 + j%3))
+				th.Yield() // zero-delay ring traffic
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return k.EventsFired(), k.Now()
+}
+
+func TestRecycleIdenticalBehavior(t *testing.T) {
+	e0, f0 := recycleWorkload(NewKernel())
+
+	var sp Spares
+	k1 := NewKernelWith(&sp) // empty spares: plain kernel
+	e1, f1 := recycleWorkload(k1)
+	k1.Recycle(&sp)
+	if sp.heap == nil && sp.ring == nil {
+		t.Fatal("recycle harvested nothing")
+	}
+
+	k2 := NewKernelWith(&sp)
+	if sp.heap != nil || sp.ring != nil || sp.threads != nil {
+		t.Fatal("spares not consumed by NewKernelWith")
+	}
+	e2, f2 := recycleWorkload(k2)
+
+	if e0 != e1 || e0 != e2 || f0 != f1 || f0 != f2 {
+		t.Fatalf("recycled kernels diverge: (%d,%d) (%d,%d) (%d,%d)", e0, f0, e1, f1, e2, f2)
+	}
+	if k2.Now() == 0 || k2.EventsFired() == 0 {
+		t.Fatal("recycled kernel scalar state bogus")
+	}
+}
+
+func TestRecycleReusesCapacity(t *testing.T) {
+	var sp Spares
+	k := NewKernelWith(&sp)
+	recycleWorkload(k)
+	k.Recycle(&sp)
+	heapCap, ringCap := cap(sp.heap), cap(sp.ring)
+	if ringCap == 0 {
+		t.Fatal("ring never grew during workload")
+	}
+	k2 := NewKernelWith(&sp)
+	recycleWorkload(k2)
+	k2.Recycle(&sp)
+	if cap(sp.ring) < ringCap || cap(sp.heap) < heapCap {
+		t.Fatalf("capacity shrank across recycle: heap %d->%d ring %d->%d",
+			heapCap, cap(sp.heap), ringCap, cap(sp.ring))
+	}
+}
+
+func TestRecycleUnfinishedPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic recycling a kernel with pending events")
+		}
+	}()
+	k.Recycle(&Spares{})
+}

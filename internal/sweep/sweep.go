@@ -1,0 +1,152 @@
+// Package sweep is the parallel experiment engine: it fans independent
+// simulation configurations (process counts, message sizes, chaos seeds,
+// ablation variants) across worker goroutines while preserving the
+// repository's determinism contract — same seed, byte-identical output,
+// at any worker count.
+//
+// The unit of parallelism is one whole simulation. Each armci.World owns
+// its kernel, network, topology, fault injector, and runtimes, so
+// concurrent runs share nothing mutable; what remains process-global is
+// handled here:
+//
+//   - observability: every run records into its own child registry
+//     (Registry.NewChild of the engine's parent), and children are merged
+//     back in submission order once a Map completes. Merge semantics are
+//     chosen so the parent ends up byte-identical to what serial runs
+//     recording into one shared registry would have produced — even the
+//     serial path (workers=1) goes through child+merge, so worker count
+//     can never change a single exported byte.
+//   - results: Map writes each run's result into its submission slot, so
+//     callers assemble tables keyed by configuration index, never by
+//     completion order.
+//   - allocation reuse: each worker owns an armci.Pool that persists
+//     across Map calls, recycling event-queue and region-cache backing
+//     arrays between the sweep points that worker executes.
+//   - GC policy: the process-global GOGC knob is set exactly once, here,
+//     instead of per run in each driver.
+package sweep
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/armci"
+	"repro/internal/obs"
+)
+
+var gcOnce sync.Once
+
+// TuneGC sets the sweep GC posture (GOGC=200: heap headroom traded for
+// fewer collections over many back-to-back simulations) exactly once per
+// process. Engines call it on construction; drivers that measure wall
+// clock before building an engine may call it directly. Library code
+// must not mutate GC state anywhere else.
+func TuneGC() {
+	gcOnce.Do(func() { debug.SetGCPercent(200) })
+}
+
+// Ctx is what a sweep task runs with: the run's isolated registry and
+// the executing worker's recycling pool. Attach both to a simulation
+// through Cfg.
+type Ctx struct {
+	// Reg is this run's private registry (nil when the engine has no
+	// parent registry). It must not outlive the task: the engine merges
+	// and discards it.
+	Reg *obs.Registry
+	// Pool belongs to the worker executing the task and persists across
+	// tasks and Map calls.
+	Pool *armci.Pool
+}
+
+// Cfg attaches the run's registry and worker pool to a configuration —
+// the one-liner every harness builds its Config through.
+func (c *Ctx) Cfg(cfg armci.Config) armci.Config {
+	cfg.Obs = c.Reg
+	cfg.Pool = c.Pool
+	return cfg
+}
+
+// Engine schedules sweep tasks over a fixed worker count. An Engine is
+// cheap; build one per (worker count, parent registry) setting. Map calls
+// on one engine must not overlap.
+type Engine struct {
+	workers int
+	parent  *obs.Registry
+	pools   []*armci.Pool
+}
+
+// New returns an engine running tasks on the given number of workers
+// (<= 0 selects GOMAXPROCS), recording into parent (which may be nil for
+// no observability). Construction fixes the process GC posture via
+// TuneGC.
+func New(workers int, parent *obs.Registry) *Engine {
+	TuneGC()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, parent: parent, pools: make([]*armci.Pool, workers)}
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) pool(w int) *armci.Pool {
+	if e.pools[w] == nil {
+		e.pools[w] = armci.NewPool()
+	}
+	return e.pools[w]
+}
+
+// Map runs fn for every index in [0, n), fanning the calls across the
+// engine's workers, and returns the results in index order. fn must be
+// self-contained: it may only touch its Ctx and its own locals (never a
+// shared table or registry), which is what makes the fan-out safe and
+// the output independent of scheduling. Determinism: result slot i
+// always holds run i's value, and child registries merge into the parent
+// in index order, so any worker count produces identical bytes.
+func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := &Ctx{Pool: e.pool(0)}
+		for i := 0; i < n; i++ {
+			c.Reg = e.parent.NewChild()
+			out[i] = fn(c, i)
+			e.parent.Merge(c.Reg)
+		}
+		return out
+	}
+
+	regs := make([]*obs.Registry, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &Ctx{Pool: e.pool(w)}
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				c.Reg = e.parent.NewChild()
+				regs[i] = c.Reg
+				out[i] = fn(c, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, reg := range regs {
+		e.parent.Merge(reg)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/armci"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestMapSubmissionOrder(t *testing.T) {
+	e := New(4, nil)
+	got := Map(e, 37, func(c *Ctx, i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+	if e.Workers() != 4 {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+}
+
+// sweepTask is a real (tiny) simulation per index, recording into the
+// run's child registry.
+func sweepTask(c *Ctx, i int) sim.Time {
+	cfg := c.Cfg(armci.Config{Procs: 2 + i%3, ProcsPerNode: 2, AsyncThread: i%2 == 0, Seed: uint64(i)})
+	w := armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
+		a := rt.Malloc(th, 256)
+		if rt.Rank == 0 {
+			local := rt.LocalAlloc(th, 256)
+			rt.Put(th, local, a.At(1), 64)
+			rt.Get(th, a.At(1), local, 64)
+			rt.FetchAdd(th, a.At(1), 1)
+		}
+		rt.Barrier(th)
+	})
+	return w.K.Now()
+}
+
+func registryDump(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMapWorkerCountInvariance is the engine's core promise: the merged
+// parent registry and the result slice are byte-identical at every
+// worker count.
+func TestMapWorkerCountInvariance(t *testing.T) {
+	const n = 12
+	run := func(workers int) (string, string) {
+		parent := obs.New(obs.WithTrackCap(64))
+		vals := Map(New(workers, parent), n, sweepTask)
+		return fmt.Sprint(vals), registryDump(t, parent)
+	}
+	vals1, dump1 := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		vals, dump := run(workers)
+		if vals != vals1 {
+			t.Fatalf("results differ at workers=%d:\n%s\nvs serial\n%s", workers, vals, vals1)
+		}
+		if dump != dump1 {
+			t.Fatalf("merged registry differs at workers=%d", workers)
+		}
+	}
+}
+
+// TestMapPoolsPersist verifies cross-Map pool reuse: the second Map on
+// the same engine must find the workers' pools already warmed.
+func TestMapPoolsPersist(t *testing.T) {
+	e := New(2, nil)
+	Map(e, 4, sweepTask)
+	p0 := e.pools[0]
+	if p0 == nil {
+		t.Fatal("worker 0 never built its pool")
+	}
+	Map(e, 4, sweepTask)
+	if e.pools[0] != p0 {
+		t.Fatal("pool not reused across Map calls")
+	}
+}
+
+func TestMapEmptyAndNilParent(t *testing.T) {
+	e := New(0, nil) // GOMAXPROCS default
+	if got := Map(e, 0, func(c *Ctx, i int) int { return 1 }); len(got) != 0 {
+		t.Fatal("n=0 should yield an empty slice")
+	}
+	// nil parent: child registries are nil, Cfg passes nil Obs through.
+	Map(e, 3, func(c *Ctx, i int) sim.Time {
+		if c.Reg != nil {
+			t.Error("child registry should be nil without a parent")
+		}
+		return sweepTask(c, i)
+	})
+}

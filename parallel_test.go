@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// TestConcurrentRuntimeIsolation is the isolation invariant behind the
+// parallel sweep engine: two complete simulations running concurrently
+// in one process (each with its own Kernel, Machine, World, and
+// registry) must produce exactly the results a lone serial run does.
+// Run under -race this also proves the sim/network/pami/armci stack
+// shares no mutable state between Runtimes.
+func TestConcurrentRuntimeIsolation(t *testing.T) {
+	wantEvents, wantFinal := goldenScenario()
+
+	type out struct {
+		events uint64
+		final  int64
+	}
+	outs := make([]out, 2)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, f := goldenScenario()
+			outs[i] = out{events: e, final: int64(f)}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, o := range outs {
+		if o.events != wantEvents || o.final != int64(wantFinal) {
+			t.Errorf("concurrent run %d diverged from serial: got (%d, %d), want (%d, %d)",
+				i, o.events, o.final, wantEvents, int64(wantFinal))
+		}
+	}
+}
+
+// renderSweep runs the Fig 9 sweep at the given worker count against a
+// fresh registry and returns the CSV bytes plus the registry's full
+// metrics and trace dumps.
+func renderSweep(t *testing.T, workers int) (csv, metrics, trace string) {
+	t.Helper()
+	reg := obs.New()
+	bench.SetObs(reg)
+	bench.SetParallel(workers)
+	defer func() {
+		bench.SetObs(nil)
+		bench.SetParallel(0)
+	}()
+
+	var sb strings.Builder
+	bench.Fig9([]int{8, 16}, 4).RenderCSV(&sb)
+
+	var mbuf, tbuf bytes.Buffer
+	if err := reg.WriteMetrics(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteChromeTrace(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), mbuf.String(), tbuf.String()
+}
+
+// TestSweepWorkerCountInvariance is the determinism contract of the
+// sweep engine: the rendered table AND the merged observability output
+// (metrics dump, Chrome trace) are byte-identical whether the sweep ran
+// on one worker or many.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	csv1, met1, tr1 := renderSweep(t, 1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		csvN, metN, trN := renderSweep(t, workers)
+		if csvN != csv1 {
+			t.Errorf("workers=%d: CSV differs from serial:\n%s\nvs\n%s", workers, csvN, csv1)
+		}
+		if metN != met1 {
+			t.Errorf("workers=%d: metrics dump differs from serial", workers)
+		}
+		if trN != tr1 {
+			t.Errorf("workers=%d: trace differs from serial", workers)
+		}
+	}
+}
+
+// TestSweepChaosWorkerCountInvariance extends the invariance check to
+// the chaos profile, whose fault injection and recovery paths (seeded
+// jitter, retries, duplicate suppression) are the likeliest place for
+// hidden cross-run state to leak.
+func TestSweepChaosWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		bench.SetParallel(workers)
+		defer bench.SetParallel(0)
+		var sb strings.Builder
+		bench.Chaos([]int{8, 16}, 6, 42).RenderCSV(&sb)
+		return sb.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d: chaos CSV differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
