@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep serve-smoke figures report scf clean
 
 all: vet test
 
@@ -60,6 +60,12 @@ chaos-smoke:
 # worker-count invariance under the race detector.
 race-sweep:
 	$(GO) test -race -run 'TestSweep|TestConcurrent' .
+
+# Serving-layer gate: start simd, drive it with simload (0 errors, cache
+# hits on the skewed phase, cached bytes identical to cold), then assert
+# SIGTERM drains gracefully.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Regenerate every figure/table at full scale into results/.
 figures:

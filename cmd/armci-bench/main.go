@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/bench"
@@ -43,6 +45,12 @@ func main() {
 
 	bench.SetParallel(*parallel)
 
+	// Ctrl-C stops scheduling new sweep points; partial grids are never
+	// rendered (the guard in render), and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	bench.SetContext(ctx)
+
 	var reg *obs.Registry
 	if *tracePath != "" || *metricsPath != "" {
 		reg = obs.New()
@@ -61,6 +69,10 @@ func main() {
 	}
 
 	render := func(g *bench.Grid) {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "armci-bench: interrupted")
+			os.Exit(130)
+		}
 		if *csv {
 			g.RenderCSV(os.Stdout)
 			fmt.Println()

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -31,6 +33,10 @@ func main() {
 	flag.Parse()
 
 	bench.SetParallel(*parallel)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	bench.SetContext(ctx)
 
 	counts := []int{1024, 2048, 4096}
 	cfg := nwchem.DefaultConfig()
@@ -54,6 +60,10 @@ func main() {
 	}
 
 	g := bench.Fig11(counts, cfg)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "scf: interrupted")
+		os.Exit(130)
+	}
 	if *csv {
 		g.RenderCSV(os.Stdout)
 	} else {

@@ -21,14 +21,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -36,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/network"
 	"repro/internal/nwchem"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
@@ -229,6 +236,18 @@ func main() {
 	// sweep engine) so scenario wall clocks are comparable with theirs.
 	sweep.TuneGC()
 
+	// Ctrl-C stops scheduling new sweep points; a partial report is never
+	// written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	bench.SetContext(ctx)
+	interrupted := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "simbench: interrupted")
+			os.Exit(130)
+		}
+	}
+
 	reps := make(map[string]result)
 
 	// Raw event throughput of the DES kernel: one event schedules the next.
@@ -346,7 +365,12 @@ func main() {
 			return bench.Chaos([]int{8, 16, 32}, 10, 42)
 		})
 		bench.SetParallel(0) // leave the package at its default
+
+		interrupted()
+		serveCache(reps)
 	}
+
+	interrupted()
 
 	rep := report{
 		Schema:         1,
@@ -398,6 +422,69 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("smoke ok: zero-alloc invariants hold")
+	}
+}
+
+// serveCache measures the serving layer's reason to exist: the wall
+// clock of a cold fig9 job (full simulation sweep) against the cached
+// response for the same config, both through a real HTTP round trip to
+// an in-process internal/serve server. NsPerOp is the cached latency,
+// BaselineNsPerOp the cold one, so speedup_vs_baseline is the measured
+// cache win. The cached body must be byte-identical to the cold body;
+// a mismatch is a determinism violation and exits 1.
+func serveCache(reps map[string]result) {
+	const name = "serve_cache"
+	if skip(name) {
+		return
+	}
+	srv := serve.New(serve.Options{Workers: 1, SweepWorkers: runtime.GOMAXPROCS(0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	const job = `{"scenario":"fig9","params":{"procs":[2,16,64],"ops_each":8}}`
+	post := func() ([]byte, string, time.Duration) {
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(job))
+		if err != nil {
+			fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("serve_cache: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body)))
+		}
+		return body, resp.Header.Get("X-Cache"), time.Since(t0)
+	}
+
+	coldBody, src, coldNs := post()
+	if src != "miss" {
+		fatal(fmt.Errorf("serve_cache: first request was a %q, want miss", src))
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 20; i++ {
+		body, src, d := post()
+		if src != "hit" {
+			fatal(fmt.Errorf("serve_cache: repeat request was a %q, want hit", src))
+		}
+		if !bytes.Equal(body, coldBody) {
+			fmt.Fprintln(os.Stderr, "DETERMINISM VIOLATION: serve_cache cached body differs from cold body")
+			os.Exit(1)
+		}
+		if d < best {
+			best = d
+		}
+	}
+	reps[name] = result{
+		NsPerOp:         float64(best.Nanoseconds()),
+		BaselineNsPerOp: float64(coldNs.Nanoseconds()),
+		Speedup:         float64(coldNs) / float64(best),
+		Kind:            "scenario",
 	}
 }
 

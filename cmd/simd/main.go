@@ -1,0 +1,76 @@
+// Command simd is the simulation daemon: it serves the bench scenario
+// registry over HTTP with a deterministic result cache and admission
+// control (see internal/serve).
+//
+//	simd -addr :8080 &
+//	curl -d '{"scenario":"fig9"}' localhost:8080/run
+//	curl localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new jobs
+// are refused, in-flight requests finish (up to -drain-timeout), then
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 2, "jobs executing simulations concurrently")
+	perScenario := flag.Int("per-scenario", 1, "concurrent jobs per scenario name")
+	queue := flag.Int("queue", 16, "jobs in system before submissions get 429")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget, MiB")
+	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep workers (0 = GOMAXPROCS/workers)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:      *workers,
+		PerScenario:  *perScenario,
+		QueueDepth:   *queue,
+		CacheBytes:   *cacheMB << 20,
+		SweepWorkers: *sweepWorkers,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "simd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising health, refuse new jobs, let
+	// in-flight requests finish, then abort whatever is left.
+	fmt.Fprintln(os.Stderr, "simd: draining")
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "simd: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "simd: drained")
+}

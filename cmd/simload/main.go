@@ -1,0 +1,262 @@
+// Command simload is a closed-loop load generator for simd. It drives
+// the daemon through two phases and verifies the serving layer's core
+// contract — cached responses are byte-identical to cold ones — while
+// reporting throughput, latency, and cache hit ratio.
+//
+// Phase 1 (cold): every distinct key is requested once, populating the
+// cache. Phase 2 (skew): -n requests are drawn with a hot-key bias
+// (probability -hot goes to key 0), the regime a result cache exists
+// for.
+//
+//	simload -addr 127.0.0.1:8080 -c 4 -n 200 -keys 8 -hot 0.8
+//
+// Exit status is nonzero on any transport error, HTTP error status,
+// byte mismatch against the cold copy, or (when -min-hit-ratio is set)
+// a skew-phase hit ratio below the floor.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type key struct {
+	name string // scenario
+	body string // JSON job config
+}
+
+// keys builds nkeys distinct job configs cycling over the requested
+// scenarios, made unique via the iters/ops_each parameter so every key
+// is a different cache entry.
+func buildKeys(scenarios []string, nkeys int) []key {
+	out := make([]key, 0, nkeys)
+	for k := 0; k < nkeys; k++ {
+		sc := scenarios[k%len(scenarios)]
+		var body string
+		switch sc {
+		case "micro":
+			body = fmt.Sprintf(`{"scenario":"micro","params":{"sizes":[64,256],"iters":%d}}`, 1+k/len(scenarios))
+		case "amo":
+			body = fmt.Sprintf(`{"scenario":"amo","params":{"procs":[2,4],"ops_each":%d}}`, 4+k/len(scenarios))
+		case "fig9":
+			body = fmt.Sprintf(`{"scenario":"fig9","params":{"procs":[2,4],"ops_each":%d}}`, 4+k/len(scenarios))
+		case "chaos":
+			body = fmt.Sprintf(`{"scenario":"chaos","params":{"procs":[4],"ops_each":4,"seed":%d}}`, 41+k/len(scenarios))
+		case "tableii":
+			body = `{"scenario":"tableii"}`
+		default:
+			fmt.Fprintf(os.Stderr, "simload: unsupported scenario %q\n", sc)
+			os.Exit(2)
+		}
+		out = append(out, key{name: sc, body: body})
+	}
+	return out
+}
+
+type stats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	hits      int64
+	total     int64
+	errs      int64
+}
+
+func (s *stats) record(d time.Duration, cacheHdr string) {
+	s.mu.Lock()
+	s.latencies = append(s.latencies, d)
+	s.mu.Unlock()
+	atomic.AddInt64(&s.total, 1)
+	if cacheHdr == "hit" {
+		atomic.AddInt64(&s.hits, 1)
+	}
+}
+
+func (s *stats) report(name string, elapsed time.Duration) (hitRatio float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.latencies) == 0 {
+		fmt.Printf("%-5s  no requests completed\n", name)
+		return 0
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(s.latencies)-1))
+		return s.latencies[i]
+	}
+	total := atomic.LoadInt64(&s.total)
+	hits := atomic.LoadInt64(&s.hits)
+	hitRatio = float64(hits) / float64(total)
+	fmt.Printf("%-5s  %5d req  %8.1f req/s  p50 %-10v p95 %-10v max %-10v hit-ratio %.2f  errors %d\n",
+		name, total, float64(total)/elapsed.Seconds(),
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		s.latencies[len(s.latencies)-1].Round(time.Microsecond),
+		hitRatio, atomic.LoadInt64(&s.errs))
+	return hitRatio
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "simd address (host:port)")
+	conc := flag.Int("c", 4, "concurrent closed-loop clients")
+	n := flag.Int("n", 200, "requests in the skew phase")
+	nkeys := flag.Int("keys", 8, "distinct job configs")
+	hot := flag.Float64("hot", 0.8, "probability a skew-phase request goes to key 0")
+	scenarioList := flag.String("scenarios", "micro,amo,fig9", "comma-separated scenarios to cycle over")
+	seed := flag.Int64("seed", 1, "skew-phase RNG seed")
+	wait := flag.Duration("wait", 10*time.Second, "how long to poll /healthz for the daemon to come up")
+	minHitRatio := flag.Float64("min-hit-ratio", -1, "fail if the skew-phase hit ratio is below this (<0 disables)")
+	checkMetrics := flag.Bool("check-metrics", false, "fetch /metrics afterwards and assert serving metrics are present")
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Wait for the daemon.
+	deadline := time.Now().Add(*wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "simload: daemon at %s not healthy after %v (%v)\n", *addr, *wait, err)
+			os.Exit(1)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	keys := buildKeys(strings.Split(*scenarioList, ","), *nkeys)
+	golden := make([][]byte, len(keys)) // cold-phase bodies, the byte-identity reference
+	failed := atomic.Bool{}
+
+	var do func(k int, st *stats)
+	do = func(k int, st *stats) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/run", "application/json", strings.NewReader(keys[k].body))
+		if err != nil {
+			atomic.AddInt64(&st.errs, 1)
+			failed.Store(true)
+			fmt.Fprintf(os.Stderr, "simload: key %d: %v\n", k, err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Admission rejection is back-pressure, not failure: honor it
+			// and retry.
+			time.Sleep(200 * time.Millisecond)
+			do(k, st)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			atomic.AddInt64(&st.errs, 1)
+			failed.Store(true)
+			fmt.Fprintf(os.Stderr, "simload: key %d: HTTP %d: %s\n", k, resp.StatusCode, bytes.TrimSpace(body))
+			return
+		}
+		if golden[k] != nil && !bytes.Equal(body, golden[k]) {
+			atomic.AddInt64(&st.errs, 1)
+			failed.Store(true)
+			fmt.Fprintf(os.Stderr, "simload: key %d: response differs from cold copy (sha %x vs %x)\n",
+				k, sha256.Sum256(body), sha256.Sum256(golden[k]))
+			return
+		}
+		st.record(time.Since(t0), resp.Header.Get("X-Cache"))
+	}
+
+	// Phase 1: cold. One request per key, sequential per worker slice so
+	// golden[] is written before any comparison reads it.
+	coldStats := &stats{}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *conc)
+	for k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Post(base+"/run", "application/json", strings.NewReader(keys[k].body))
+			if err != nil {
+				atomic.AddInt64(&coldStats.errs, 1)
+				failed.Store(true)
+				fmt.Fprintf(os.Stderr, "simload: cold key %d: %v\n", k, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				atomic.AddInt64(&coldStats.errs, 1)
+				failed.Store(true)
+				fmt.Fprintf(os.Stderr, "simload: cold key %d: HTTP %d: %s\n", k, resp.StatusCode, bytes.TrimSpace(body))
+				return
+			}
+			golden[k] = body
+			coldStats.record(time.Since(t0), resp.Header.Get("X-Cache"))
+		}(k)
+	}
+	wg.Wait()
+	coldStats.report("cold", time.Since(t0))
+
+	// Phase 2: skewed closed loop. Each client draws keys from a private
+	// deterministic stream.
+	skewStats := &stats{}
+	t0 = time.Now()
+	perClient := *n / *conc
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for i := 0; i < perClient; i++ {
+				k := 0
+				if rng.Float64() >= *hot {
+					k = rng.Intn(len(keys))
+				}
+				do(k, skewStats)
+			}
+		}(c)
+	}
+	wg.Wait()
+	hitRatio := skewStats.report("skew", time.Since(t0))
+
+	if *minHitRatio >= 0 && hitRatio < *minHitRatio {
+		fmt.Fprintf(os.Stderr, "simload: skew hit ratio %.2f below floor %.2f\n", hitRatio, *minHitRatio)
+		failed.Store(true)
+	}
+
+	if *checkMetrics {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simload: /metrics: %v\n", err)
+			failed.Store(true)
+		} else {
+			text, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, want := range []string{"serve_cache_hits", "serve_queue_depth", "serve_run_latency_ns_bucket"} {
+				if !bytes.Contains(text, []byte(want)) {
+					fmt.Fprintf(os.Stderr, "simload: /metrics missing %s\n", want)
+					failed.Store(true)
+				}
+			}
+		}
+	}
+
+	if failed.Load() {
+		os.Exit(1)
+	}
+}

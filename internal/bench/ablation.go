@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/armci"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -31,7 +33,7 @@ func AblationContexts(opsEach int) *Grid {
 		meanUS    float64
 		contended uint64
 	}
-	pts := sweep.Map(engine(), len(ctxCounts), func(c *sweep.Ctx, i int) point {
+	pts := mapN(len(ctxCounts), func(c *sweep.Ctx, i int) point {
 		return ablationContextsPoint(c, ctxCounts[i], opsEach)
 	})
 	for i, nCtx := range ctxCounts {
@@ -89,11 +91,18 @@ func ablationContextsPoint(c *sweep.Ctx, nCtx, opsEach int) (pt struct {
 // fetch-and-add. The hardware path needs no async thread and its latency
 // stays far below the software path's linear-in-p growth.
 func AblationHardwareAMO(procCounts []int, opsEach int) *Grid {
+	ctx, eng := setup()
+	return hwAMOGrid(ctx, eng, procCounts, opsEach)
+}
+
+// hwAMOGrid is the engine-explicit core of AblationHardwareAMO, shared
+// with the scenario registry (its "amo" scenario).
+func hwAMOGrid(ctx context.Context, eng *sweep.Engine, procCounts []int, opsEach int) *Grid {
 	g := &Grid{Title: "Ablation (SIV.B.3): software AMO (async thread) vs hardware NIC AMO",
 		Header: []string{"procs", "AT_software_us", "hw_amo_us"}}
 	// Two independent simulations per process count: even indices are the
 	// software path, odd the hardware path.
-	vals := sweep.Map(engine(), 2*len(procCounts), func(c *sweep.Ctx, i int) float64 {
+	vals := sweep.MapCtx(eng, ctx, 2*len(procCounts), func(c *sweep.Ctx, i int) float64 {
 		p := procCounts[i/2]
 		if i%2 == 0 {
 			return fig9Point(c, p, 1, true, true, opsEach)
@@ -142,7 +151,7 @@ func AblationStridedProtocol(l0s []int, total int) *Grid {
 		Header: []string{"l0_bytes", "chunks_us", "packed_us"}}
 	// Two independent simulations per chunk size: even indices force the
 	// chunk-list path, odd the packed path.
-	vals := sweep.Map(engine(), 2*len(l0s), func(c *sweep.Ctx, i int) float64 {
+	vals := mapN(2*len(l0s), func(c *sweep.Ctx, i int) float64 {
 		return stridedPoint(c, l0s[i/2], total, i%2 == 1)
 	})
 	for i, l0 := range l0s {
@@ -219,7 +228,7 @@ func AblationRouting(flows, sizeKB int) *Grid {
 	// Pure network-layer simulations (no ARMCI world, no registry); one
 	// sweep task per flow count measures both routing modes.
 	type point struct{ dor, adaptive float64 }
-	pts := sweep.Map(engine(), len(flowCounts), func(c *sweep.Ctx, i int) point {
+	pts := mapN(len(flowCounts), func(c *sweep.Ctx, i int) point {
 		return point{dor: makespan(false, flowCounts[i]), adaptive: makespan(true, flowCounts[i])}
 	})
 	for i, n := range flowCounts {
@@ -241,7 +250,7 @@ func AblationConsistency(tiles int) *Grid {
 		elapsed         sim.Time
 		fences, avoided int64
 	}
-	pts := sweep.Map(engine(), len(modes), func(c *sweep.Ctx, i int) point {
+	pts := mapN(len(modes), func(c *sweep.Ctx, i int) point {
 		var pt point
 		cfg := c.Cfg(armci.Config{Procs: 2, ProcsPerNode: 1, AsyncThread: true, Consistency: modes[i]})
 		armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {

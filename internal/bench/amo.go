@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/armci"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -75,10 +77,17 @@ var fig9Variants = []struct{ async, compute bool }{
 // fan out across the sweep workers; rows are keyed by configuration
 // index, so the table is identical at any worker count.
 func Fig9(procCounts []int, opsEach int) *Grid {
+	ctx, eng := setup()
+	return fig9Grid(ctx, eng, procCounts, opsEach)
+}
+
+// fig9Grid is the engine-explicit core of Fig9, shared with the scenario
+// registry (which hands every serving-layer job its own engine).
+func fig9Grid(ctx context.Context, eng *sweep.Engine, procCounts []int, opsEach int) *Grid {
 	g := &Grid{Title: "Fig 9: fetch-and-add latency on a rank-0 counter",
 		Header: []string{"procs", "D_idle_us", "AT_idle_us", "D_compute_us", "AT_compute_us"}}
 	nv := len(fig9Variants)
-	vals := sweep.Map(engine(), len(procCounts)*nv, func(c *sweep.Ctx, i int) float64 {
+	vals := sweep.MapCtx(eng, ctx, len(procCounts)*nv, func(c *sweep.Ctx, i int) float64 {
 		v := fig9Variants[i%nv]
 		return fig9Point(c, procCounts[i/nv], 16, v.async, v.compute, opsEach)
 	})

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -184,13 +185,20 @@ func float64bytes(v float64) []byte {
 // seeds render identical bytes — the determinism smoke test depends on
 // this.
 func Chaos(procCounts []int, opsEach int, seed uint64) *Grid {
+	ctx, eng := setup()
+	return chaosGrid(ctx, eng, procCounts, opsEach, seed)
+}
+
+// chaosGrid is the engine-explicit core of Chaos, shared with the
+// scenario registry.
+func chaosGrid(ctx context.Context, eng *sweep.Engine, procCounts []int, opsEach int, seed uint64) *Grid {
 	g := &Grid{Title: "Chaos: Fig 9 workload under scripted faults (seed " +
 		fmt.Sprint(seed) + ")",
 		Header: []string{"procs", "ops", "counter", "clean", "retries",
 			"timeouts", "recovered", "dropped", "dup_seen", "events", "time_us"}}
 	// One independent simulation per process count, fanned across the
 	// sweep workers; row i is always procCounts[i]'s run.
-	results := sweep.Map(engine(), len(procCounts), func(c *sweep.Ctx, i int) ChaosResult {
+	results := sweep.MapCtx(eng, ctx, len(procCounts), func(c *sweep.Ctx, i int) ChaosResult {
 		return chaosRun(c, procCounts[i], 4, opsEach, seed)
 	})
 	for _, r := range results {

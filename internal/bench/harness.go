@@ -1,22 +1,28 @@
 package bench
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
-// The package-level harness state: a parent registry (optional) and a
-// worker count, from which sweep engines are built lazily. These are the
-// only mutable globals in the package — every simulation runs against a
-// per-run child registry and a per-worker pool handed to it by the sweep
-// engine, so concurrent sweep points never touch shared state.
+// The package-level harness state: a parent registry (optional), a
+// worker count, and a cancellation context, from which sweep engines are
+// built lazily. These are the only mutable globals in the package —
+// every simulation runs against a per-run child registry and a
+// per-worker pool handed to it by the sweep engine, so concurrent sweep
+// points never touch shared state. The serving layer bypasses all of
+// this: it drives the exported *Grid builders through their engine-
+// explicit cores (the Scenario registry) with one private engine per
+// job.
 var (
 	mu      sync.Mutex
 	parent  *obs.Registry
 	workers int // <= 0 selects GOMAXPROCS
 	eng     *sweep.Engine
+	runCtx  context.Context = context.Background()
 )
 
 // SetObs installs (or, with nil, removes) the registry benchmark runs
@@ -39,20 +45,43 @@ func SetParallel(n int) {
 	eng = nil
 }
 
-// engine returns the current sweep engine, building it on first use or
-// after a SetObs/SetParallel change.
-func engine() *sweep.Engine {
+// SetContext installs the cancellation context subsequent sweeps run
+// under (nil restores context.Background()). Drivers wire their SIGINT
+// context here: on cancellation, in-flight simulations finish but no new
+// sweep point starts, so Ctrl-C unwinds in one simulation's time instead
+// of abandoning goroutines mid-sweep. Callers detect the cut by checking
+// their context before rendering — a grid assembled from a cancelled
+// sweep is partial and must be discarded.
+func SetContext(ctx context.Context) {
+	mu.Lock()
+	defer mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx = ctx
+}
+
+// setup returns the current context and sweep engine, building the
+// engine on first use or after a SetObs/SetParallel change.
+func setup() (context.Context, *sweep.Engine) {
 	mu.Lock()
 	defer mu.Unlock()
 	if eng == nil {
 		eng = sweep.New(workers, parent)
 	}
-	return eng
+	return runCtx, eng
 }
 
 // one runs a single simulation task through the sweep engine, so even
 // standalone figure runs get the per-run registry and the worker pool's
 // recycled arrays.
 func one[T any](fn func(c *sweep.Ctx) T) T {
-	return sweep.Map(engine(), 1, func(c *sweep.Ctx, _ int) T { return fn(c) })[0]
+	return mapN(1, func(c *sweep.Ctx, _ int) T { return fn(c) })[0]
+}
+
+// mapN fans n tasks across the harness's engine under its context — the
+// call every figure/table sweep in this package goes through.
+func mapN[T any](n int, fn func(c *sweep.Ctx, i int) T) []T {
+	ctx, e := setup()
+	return sweep.MapCtx(e, ctx, n, fn)
 }

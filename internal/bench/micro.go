@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/armci"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -16,7 +18,16 @@ func twoProcCfg(c *sweep.Ctx) armci.Config {
 // latency versus message size between adjacent nodes. Paper headline:
 // get(16 B) = 2.89 us, put(16 B) = 2.7 us, with a dip at 256 B.
 func Fig3(sizes []int, iters int) *Grid {
-	return one(func(c *sweep.Ctx) *Grid { return fig3(c, sizes, iters) })
+	ctx, eng := setup()
+	return fig3Grid(ctx, eng, sizes, iters)
+}
+
+// fig3Grid is the engine-explicit core of Fig3, shared with the scenario
+// registry.
+func fig3Grid(ctx context.Context, eng *sweep.Engine, sizes []int, iters int) *Grid {
+	return sweep.MapCtx(eng, ctx, 1, func(c *sweep.Ctx, _ int) *Grid {
+		return fig3(c, sizes, iters)
+	})[0]
 }
 
 // fig3 is one simulation: the size loop runs inside a single world so

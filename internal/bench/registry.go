@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/nwchem"
+	"repro/internal/sweep"
+)
+
+// Params is the wire-level parameterization of a named scenario — the
+// JSON a serving-layer job submits. Every field is optional: zero values
+// are filled from the scenario's Defaults by Normalize, which is what
+// makes configurations content-addressable (two spellings of the same
+// experiment normalize to the same Params and therefore the same hash).
+// Which fields a scenario consults is listed in its Doc; the rest are
+// ignored but still part of the identity.
+type Params struct {
+	// Procs is the process-count sweep (one independent simulation, or
+	// pair, per entry).
+	Procs []int `json:"procs,omitempty"`
+	// PerNode is the ranks-per-node placement where configurable.
+	PerNode int `json:"per_node,omitempty"`
+	// OpsEach is the per-worker operation count of the AMO workloads.
+	OpsEach int `json:"ops_each,omitempty"`
+	// Iters is the repetition count (micro) or SCF cycle count (scf).
+	Iters int `json:"iters,omitempty"`
+	// Sizes is the message-size sweep of the micro scenario, bytes.
+	Sizes []int `json:"sizes,omitempty"`
+	// Seed drives the chaos scenario's fault plan and jitter streams
+	// (0 normalizes to the default seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Scenario is one named, remotely addressable experiment: defaults, a
+// one-line doc, and an engine-explicit runner. Scenarios are pure
+// functions of their normalized Params — same params, byte-identical
+// grid — which is the property the serving layer's result cache banks
+// on.
+type Scenario struct {
+	Name string
+	Doc  string
+	// Defaults fills the zero fields of submitted Params.
+	Defaults Params
+	run      func(ctx context.Context, eng *sweep.Engine, p Params) *Grid
+}
+
+// Normalize returns p with every zero field replaced by the scenario
+// default. Submitting {} and submitting the defaults spelled out produce
+// the same normalized value.
+func (s *Scenario) Normalize(p Params) Params {
+	if len(p.Procs) == 0 {
+		p.Procs = append([]int(nil), s.Defaults.Procs...)
+	}
+	if p.PerNode == 0 {
+		p.PerNode = s.Defaults.PerNode
+	}
+	if p.OpsEach == 0 {
+		p.OpsEach = s.Defaults.OpsEach
+	}
+	if p.Iters == 0 {
+		p.Iters = s.Defaults.Iters
+	}
+	if len(p.Sizes) == 0 {
+		p.Sizes = append([]int(nil), s.Defaults.Sizes...)
+	}
+	if p.Seed == 0 {
+		p.Seed = s.Defaults.Seed
+	}
+	return p
+}
+
+// Validate bounds a normalized Params so one job cannot sink the
+// service: sweep widths, process counts, and repetition counts all have
+// hard ceilings chosen well above every figure the paper needs.
+func (s *Scenario) Validate(p Params) error {
+	if len(p.Procs) > 16 {
+		return fmt.Errorf("procs: at most 16 sweep points (got %d)", len(p.Procs))
+	}
+	for _, n := range p.Procs {
+		if n < 2 || n > 4096 {
+			return fmt.Errorf("procs: each count must be in [2, 4096] (got %d)", n)
+		}
+	}
+	if p.PerNode < 0 || p.PerNode > 64 {
+		return fmt.Errorf("per_node must be in [1, 64] (got %d)", p.PerNode)
+	}
+	if p.OpsEach < 0 || p.OpsEach > 1000 {
+		return fmt.Errorf("ops_each must be in [1, 1000] (got %d)", p.OpsEach)
+	}
+	if p.Iters < 0 || p.Iters > 100 {
+		return fmt.Errorf("iters must be in [1, 100] (got %d)", p.Iters)
+	}
+	if len(p.Sizes) > 24 {
+		return fmt.Errorf("sizes: at most 24 sweep points (got %d)", len(p.Sizes))
+	}
+	for _, m := range p.Sizes {
+		if m < 8 || m > 1<<20 {
+			return fmt.Errorf("sizes: each size must be in [8, 1MiB] (got %d)", m)
+		}
+	}
+	return nil
+}
+
+// Run normalizes and validates p, then executes the scenario on the
+// given engine under ctx. The returned grid is complete only if ctx was
+// never cancelled; callers must check ctx.Err() before rendering or
+// caching it.
+func (s *Scenario) Run(ctx context.Context, eng *sweep.Engine, p Params) (*Grid, error) {
+	p = s.Normalize(p)
+	if err := s.Validate(p); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return s.run(ctx, eng, p), nil
+}
+
+// scenarios is the registry: every experiment the serving layer can
+// execute by name. Defaults are sized for interactive latency (tens of
+// milliseconds to a few seconds per job), not paper scale — paper-scale
+// sweeps stay the CLI drivers' job.
+var scenarios = map[string]*Scenario{
+	"micro": {
+		Name:     "micro",
+		Doc:      "Fig 3 contiguous get/put latency between adjacent nodes (sizes, iters)",
+		Defaults: Params{Sizes: []int{16, 256, 4096, 65536}, Iters: 5},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			return fig3Grid(ctx, eng, p.Sizes, p.Iters)
+		},
+	},
+	"amo": {
+		Name:     "amo",
+		Doc:      "SIV.B.3 ablation: software AMO vs hardware NIC fetch-and-add (procs, ops_each)",
+		Defaults: Params{Procs: []int{2, 8, 32}, OpsEach: 8},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			return hwAMOGrid(ctx, eng, p.Procs, p.OpsEach)
+		},
+	},
+	"fig9": {
+		Name:     "fig9",
+		Doc:      "Fig 9 fetch-and-add latency, {default, async-thread} x {idle, computing} (procs, ops_each)",
+		Defaults: Params{Procs: []int{2, 16, 64}, OpsEach: 8},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			return fig9Grid(ctx, eng, p.Procs, p.OpsEach)
+		},
+	},
+	"chaos": {
+		Name:     "chaos",
+		Doc:      "Fig 9 workload under the scripted fault plan, recovery counters included (procs, ops_each, seed)",
+		Defaults: Params{Procs: []int{8, 16}, OpsEach: 10, Seed: 42},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			return chaosGrid(ctx, eng, p.Procs, p.OpsEach, p.Seed)
+		},
+	},
+	"scf": {
+		Name:     "scf",
+		Doc:      "Fig 11 NWChem SCF proxy at reduced scale, Default vs Async Thread (procs, per_node, iters)",
+		Defaults: Params{Procs: []int{16, 32}, PerNode: 16, Iters: 1},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			scfg := nwchem.Config{Mol: nwchem.NewMolecule([]int{8, 6, 6, 8, 6, 6}),
+				Iterations: p.Iters, FlopRate: 2e7}
+			return fig11Grid(ctx, eng, p.Procs, p.PerNode, scfg)
+		},
+	},
+	"tableii": {
+		Name:     "tableii",
+		Doc:      "Table II empirical PAMI time/space attribute values (no parameters)",
+		Defaults: Params{},
+		run: func(ctx context.Context, eng *sweep.Engine, p Params) *Grid {
+			return TableII()
+		},
+	},
+}
+
+// LookupScenario resolves a scenario by name.
+func LookupScenario(name string) (*Scenario, bool) {
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// Scenarios lists every registered scenario, sorted by name.
+func Scenarios() []*Scenario {
+	out := make([]*Scenario, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/armci"
 	"repro/internal/nwchem"
 	"repro/internal/sim"
@@ -17,11 +19,18 @@ import (
 // the sweep workers; rows are assembled by process-count index (even
 // slots Default, odd slots Async-Thread), never completion order.
 func Fig11(procCounts []int, scfg nwchem.Config) *Grid {
+	ctx, eng := setup()
+	return fig11Grid(ctx, eng, procCounts, 16, scfg)
+}
+
+// fig11Grid is the engine-explicit core of Fig11, shared with the
+// scenario registry.
+func fig11Grid(ctx context.Context, eng *sweep.Engine, procCounts []int, perNode int, scfg nwchem.Config) *Grid {
 	g := &Grid{Title: "Fig 11: NWChem SCF proxy, Default (D) vs Async Thread (AT)",
 		Header: []string{"procs", "D_ms", "AT_ms", "reduction_pct",
 			"D_counter_ms", "AT_counter_ms", "D_get_ms", "AT_get_ms", "compute_ms"}}
-	results := sweep.Map(engine(), 2*len(procCounts), func(c *sweep.Ctx, i int) nwchem.Result {
-		cfg := c.Cfg(armci.Config{Procs: procCounts[i/2], ProcsPerNode: 16, AsyncThread: i%2 == 1})
+	results := sweep.MapCtx(eng, ctx, 2*len(procCounts), func(c *sweep.Ctx, i int) nwchem.Result {
+		cfg := c.Cfg(armci.Config{Procs: procCounts[i/2], ProcsPerNode: perNode, AsyncThread: i%2 == 1})
 		return nwchem.Experiment(cfg, scfg)
 	})
 	for pi, p := range procCounts {
@@ -41,4 +50,14 @@ func Fig11(procCounts []int, scfg nwchem.Config) *Grid {
 			scfg.Mol.NBF, scfg.Mol.Tasks(), scfg.Iterations)
 	}
 	return g
+}
+
+// SCFPoint runs one SCF experiment through the sweep-engine path (child
+// registry, worker pool), for drivers that need a single (procs, mode)
+// cell rather than the whole Fig 11 sweep.
+func SCFPoint(procs, perNode int, async bool, scfg nwchem.Config) nwchem.Result {
+	return one(func(c *sweep.Ctx) nwchem.Result {
+		return nwchem.Experiment(c.Cfg(armci.Config{
+			Procs: procs, ProcsPerNode: perNode, AsyncThread: async}), scfg)
+	})
 }

@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -85,6 +86,20 @@ func (g *Grid) RenderCSV(w io.Writer) {
 	for _, row := range g.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// RenderJSON writes the grid as a JSON object {title, header, rows,
+// notes}. encoding/json emits struct fields in declaration order, so the
+// bytes are as deterministic as the CSV rendering.
+func (g *Grid) RenderJSON(w io.Writer) error {
+	doc := struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{Title: g.Title, Header: g.Header, Rows: g.Rows, Notes: g.Notes}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
 }
 
 // Column extracts a numeric column by header name (for assertions).

@@ -67,7 +67,7 @@ func EqValidation(sizes []int, iters int) *Grid {
 	g := &Grid{Title: "Eq 7/8: RDMA get vs fallback get (measured, us)",
 		Header: []string{"bytes", "rdma_us", "fallback_us", "ratio"}}
 
-	cols := sweep.Map(engine(), 2, func(c *sweep.Ctx, i int) []float64 {
+	cols := mapN(2, func(c *sweep.Ctx, i int) []float64 {
 		if i == 0 {
 			return measureRDMA(c, sizes, iters)
 		}

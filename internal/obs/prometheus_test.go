@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("serve/cache.hits").Add(7)
+	r.Counter("serve/requests{scenario=micro}").Add(3)
+	r.Counter("serve/requests{scenario=chaos}").Add(2)
+	r.Gauge("serve/queue.depth").Set(4)
+	h := r.Histogram("serve/run.latency_ns{scenario=micro}", []Time{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	want := strings.Join([]string{
+		`# TYPE serve_cache_hits counter`,
+		`serve_cache_hits 7`,
+		`# TYPE serve_queue_depth gauge`,
+		`serve_queue_depth 4`,
+		`# TYPE serve_requests counter`,
+		`serve_requests{scenario="chaos"} 2`,
+		`serve_requests{scenario="micro"} 3`,
+		`# TYPE serve_run_latency_ns histogram`,
+		`serve_run_latency_ns_bucket{scenario="micro",le="10"} 1`,
+		`serve_run_latency_ns_bucket{scenario="micro",le="100"} 2`,
+		`serve_run_latency_ns_bucket{scenario="micro",le="+Inf"} 3`,
+		`serve_run_latency_ns_sum{scenario="micro"} 555`,
+		`serve_run_latency_ns_count{scenario="micro"} 3`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two identically built registries
+// produce byte-identical expositions (map iteration must never leak).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() string {
+		r := New()
+		for _, n := range []string{"b/x", "a/y{k=1}", "a/y{k=2}", "c/z"} {
+			r.Counter(n).Add(1)
+		}
+		r.Gauge("a/g").SetMax(9)
+		r.Histogram("m/h{rank=0}", DefaultLatencyBounds).Observe(1234)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if build() != first {
+			t.Fatal("exposition is not deterministic across identical registries")
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, buf.Len())
+	}
+}

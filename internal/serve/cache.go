@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: canonical-config-hash →
+// rendered artifact bytes, LRU-evicted under a byte-size budget.
+// Because results are deterministic, entries never go stale — eviction
+// exists only to bound memory. Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache builds a cache bounded to budget bytes of artifact payload
+// (bookkeeping overhead is not counted).
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the artifact stored under key, marking it most recently
+// used. The returned slice is shared — callers must treat it as
+// immutable.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key and evicts least-recently-used entries until
+// the byte budget holds again. A body larger than the whole budget is
+// not stored at all (it would only evict everything else to then be
+// evicted itself). Re-putting an existing key replaces its body.
+func (c *Cache) Put(key string, body []byte) {
+	if int64(len(body)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.used += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.used += int64(len(body))
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// Stats returns the entry count, payload bytes, and cumulative eviction
+// count.
+func (c *Cache) Stats() (entries int, bytes int64, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.used, c.evictions
+}
+
+// flightGroup collapses concurrent executions of the same config hash
+// onto one run: the first caller becomes the leader and executes, every
+// later caller for the same key waits for the leader's result. A waiter
+// whose request context dies deregisters; when the last waiter of an
+// unfinished run leaves, the run's context is cancelled so the job stops
+// burning workers at the next sweep-point boundary.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed once res is set
+	res     *jobResult
+	cancel  context.CancelFunc
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[string]*flightCall)}
+}
+
+// do executes fn for key, collapsing concurrent callers onto one run.
+// base is the lifetime context the run is bound to (the server's, so
+// draining can abort everything); reqCtx is this caller's request
+// context. Returns the run's result, whether this caller joined an
+// already-in-flight run (shared), and reqCtx.Err() if the caller gave up
+// before the run finished. The run itself always finishes (fn observes
+// cancellation through its own context and returns); its entry leaves
+// the map when it does, so a cancelled or failed run is retried by the
+// next request rather than memoized.
+func (f *flightGroup) do(reqCtx, base context.Context, key string,
+	fn func(ctx context.Context) *jobResult) (res *jobResult, shared bool, err error) {
+	f.mu.Lock()
+	call, shared := f.inflight[key]
+	if !shared {
+		runCtx, cancel := context.WithCancel(base)
+		call = &flightCall{done: make(chan struct{}), cancel: cancel}
+		f.inflight[key] = call
+		go func() {
+			r := fn(runCtx)
+			f.mu.Lock()
+			call.res = r
+			delete(f.inflight, key)
+			f.mu.Unlock()
+			close(call.done)
+			cancel()
+		}()
+	}
+	call.waiters++
+	f.mu.Unlock()
+
+	select {
+	case <-call.done:
+		return call.res, shared, nil
+	case <-reqCtx.Done():
+		f.mu.Lock()
+		call.waiters--
+		if call.waiters == 0 && call.res == nil {
+			call.cancel()
+		}
+		f.mu.Unlock()
+		return nil, shared, reqCtx.Err()
+	}
+}

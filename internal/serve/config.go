@@ -1,0 +1,98 @@
+// Package serve is the simulation-as-a-service layer: a long-running
+// daemon that accepts benchmark/sweep jobs over HTTP, executes them on a
+// bounded worker pool layered over sweep.Engine, and returns the
+// deterministic CSV/JSON artifacts.
+//
+// The load-bearing observation is that every simulation in this
+// repository is a pure function of its configuration: same config, same
+// seed, byte-identical output (the determinism and chaos goldens pin
+// this). That turns results into immutable, content-addressed values —
+// a config's canonical hash IS the identity of its artifact — so the
+// service can
+//
+//   - cache results forever (no invalidation problem exists: an entry
+//     can only ever be evicted for space, never for staleness),
+//   - collapse concurrent identical submissions onto one execution
+//     (singleflight) and hand every waiter the same bytes, and
+//   - verify itself end to end: a cached response must equal a cold one
+//     byte for byte, which the serve-smoke gate asserts.
+//
+// Admission control keeps the daemon predictable under overload: a
+// bounded job queue (429 + Retry-After when full), per-scenario
+// concurrency caps, and request-context cancellation threaded through
+// sweep.Engine so a job every client has abandoned stops consuming
+// workers at the next sweep-point boundary.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+)
+
+// JobConfig is the submitted job: a scenario name from the bench
+// registry, the artifact format, and the scenario parameters. The
+// zero-valued fields of Params are filled from the scenario defaults
+// during normalization, so `{"scenario":"micro"}` and the same request
+// with every default spelled out are the same job.
+type JobConfig struct {
+	Scenario string       `json:"scenario"`
+	Format   string       `json:"format,omitempty"` // csv (default) | text | json
+	Params   bench.Params `json:"params,omitempty"`
+}
+
+// ParseJobConfig decodes a JSON job submission strictly: unknown fields
+// are rejected rather than silently dropped, so a typo cannot alias two
+// semantically different configs onto one hash.
+func ParseJobConfig(r io.Reader) (JobConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c JobConfig
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("bad job config: %w", err)
+	}
+	return c, nil
+}
+
+// Normalize resolves the scenario, canonicalizes the format, and
+// default-fills + validates the params. The returned config is the
+// canonical form used for hashing.
+func (c JobConfig) Normalize() (JobConfig, *bench.Scenario, error) {
+	sc, ok := bench.LookupScenario(c.Scenario)
+	if !ok {
+		return c, nil, fmt.Errorf("unknown scenario %q", c.Scenario)
+	}
+	switch c.Format {
+	case "":
+		c.Format = "csv"
+	case "csv", "text", "json":
+	default:
+		return c, nil, fmt.Errorf("unknown format %q (want csv, text, or json)", c.Format)
+	}
+	c.Params = sc.Normalize(c.Params)
+	if err := sc.Validate(c.Params); err != nil {
+		return c, nil, err
+	}
+	return c, sc, nil
+}
+
+// Hash content-addresses a normalized config: the SHA-256 of its
+// canonical JSON encoding. encoding/json emits struct fields in
+// declaration order, the decode step already erased any field-order or
+// whitespace variation in the submission, and Normalize erased the
+// explicit-defaults-vs-omitted distinction — so two requests for the
+// same experiment always collide onto one key, and two different
+// experiments never do.
+func (c JobConfig) Hash() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// A JobConfig of strings/ints/slices cannot fail to marshal.
+		panic("serve: marshal canonical config: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Options configures a Server. The zero value picks sane daemon
+// defaults.
+type Options struct {
+	// Workers bounds the number of jobs executing simulations at once
+	// (default 2). Each worker owns one persistent sweep.Engine, so
+	// event-queue and region-cache backing arrays recycle across the
+	// jobs that worker executes.
+	Workers int
+	// PerScenario bounds concurrently running jobs per scenario name
+	// (default 1), so one hot scenario cannot monopolize every worker.
+	PerScenario int
+	// QueueDepth bounds jobs in the system, running plus waiting
+	// (default 16). Beyond it, submissions get 429 + Retry-After.
+	QueueDepth int
+	// CacheBytes is the result cache's payload budget (default 64 MiB).
+	CacheBytes int64
+	// SweepWorkers is the per-job sweep.Engine worker count (default
+	// GOMAXPROCS/Workers, at least 1), so concurrent jobs share the host
+	// cores instead of oversubscribing them.
+	SweepWorkers int
+	// JobTimeout aborts a single job's execution (default 2 minutes).
+	JobTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.PerScenario <= 0 {
+		o.PerScenario = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = runtime.GOMAXPROCS(0) / o.Workers
+		if o.SweepWorkers < 1 {
+			o.SweepWorkers = 1
+		}
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// retryAfterSeconds is the Retry-After hint attached to overload
+// responses: long enough for a queue slot to open at typical job
+// latency, short enough that a closed-loop client keeps the queue warm.
+const retryAfterSeconds = 1
+
+// wallLatencyBounds buckets wall-clock job latency: 1 ms to ~9 min in
+// powers of two. (The obs default bounds are virtual-time scaled and far
+// too fine for host wall clock.)
+var wallLatencyBounds = obs.ExpBounds(1<<20, 2, 20)
+
+// jobResult is what one execution (or admission rejection) produces; all
+// waiters collapsed onto the run receive the same value.
+type jobResult struct {
+	status     int
+	body       []byte // artifact (200) or error text
+	errMsg     string
+	retryAfter int // seconds; nonzero adds a Retry-After header
+}
+
+// Server executes simulation jobs behind a result cache and admission
+// control. Build with New, mount Handler on an http.Server, call Drain
+// then Close on shutdown.
+type Server struct {
+	opts   Options
+	cache  *Cache
+	flight *flightGroup
+
+	engines chan *sweep.Engine // free list, capacity Workers
+	queue   chan struct{}      // jobs in system, capacity QueueDepth
+
+	scenMu  sync.Mutex
+	scenSem map[string]chan struct{}
+
+	// The obs registry is single-threaded by design; regMu serializes
+	// every server-side metric write and the /metrics exposition.
+	regMu sync.Mutex
+	reg   *obs.Registry
+
+	base     context.Context
+	stop     context.CancelFunc
+	draining atomic.Bool
+	started  time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server. The returned server is ready; it owns Workers
+// pre-built sweep engines and an empty cache.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheBytes),
+		flight:  newFlightGroup(),
+		engines: make(chan *sweep.Engine, opts.Workers),
+		queue:   make(chan struct{}, opts.QueueDepth),
+		scenSem: make(map[string]chan struct{}),
+		reg:     obs.New(),
+		base:    base,
+		stop:    stop,
+		started: time.Now(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.engines <- sweep.New(opts.SweepWorkers, nil)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain flips the server into draining mode: /healthz answers 503 so
+// load balancers stop routing here, and new job submissions are refused.
+// In-flight requests keep running; pair with http.Server.Shutdown to
+// wait for them.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close cancels the server's base context, aborting still-running jobs
+// at their next sweep-point boundary. Call after the HTTP listener has
+// shut down (or timed out doing so).
+func (s *Server) Close() { s.stop() }
+
+// Registry exposes the server's metrics registry for embedding callers
+// (tests, simbench). Serialize access with the server via /metrics only.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// --- metrics helpers (obs is single-threaded; all writes under regMu) ---
+
+func (s *Server) count(name string, d int64) {
+	s.regMu.Lock()
+	s.reg.Counter(name).Add(d)
+	s.regMu.Unlock()
+}
+
+func (s *Server) noteQueueDepth() {
+	d := int64(len(s.queue))
+	s.regMu.Lock()
+	s.reg.Gauge("serve/queue.depth").Set(d)
+	s.reg.Gauge("serve/queue.depth_max").SetMax(d)
+	s.regMu.Unlock()
+}
+
+func (s *Server) observeLatency(scenario string, d time.Duration) {
+	s.regMu.Lock()
+	s.reg.Histogram("serve/run.latency_ns{scenario="+scenario+"}", wallLatencyBounds).
+		Observe(d.Nanoseconds())
+	s.regMu.Unlock()
+}
+
+func (s *Server) syncCacheGauges() {
+	entries, bytes, evictions := s.cache.Stats()
+	s.regMu.Lock()
+	s.reg.Gauge("serve/cache.entries").Set(int64(entries))
+	s.reg.Gauge("serve/cache.bytes").Set(bytes)
+	s.reg.Gauge("serve/cache.evictions").Set(evictions)
+	s.regMu.Unlock()
+}
+
+// --- handlers ---
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	cfg, err := ParseJobConfig(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, sc, err := cfg.Normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := cfg.Hash()
+	s.count("serve/requests{scenario="+sc.Name+"}", 1)
+
+	if body, ok := s.cache.Get(key); ok {
+		s.count("serve/cache.hits", 1)
+		s.writeArtifact(w, cfg, sc.Name, key, "hit", body)
+		return
+	}
+	s.count("serve/cache.misses", 1)
+
+	res, shared, err := s.flight.do(r.Context(), s.base, key, func(ctx context.Context) *jobResult {
+		return s.runJob(ctx, sc, cfg, key)
+	})
+	if err != nil {
+		// The client abandoned the request; the connection is gone, so
+		// there is nobody to write to.
+		s.count("serve/requests.abandoned", 1)
+		return
+	}
+	src := "miss"
+	if shared {
+		src = "shared"
+		s.count("serve/flight.shared", 1)
+	}
+	if res.status != http.StatusOK {
+		if res.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+		}
+		http.Error(w, res.errMsg, res.status)
+		return
+	}
+	s.writeArtifact(w, cfg, sc.Name, key, src, res.body)
+}
+
+func (s *Server) writeArtifact(w http.ResponseWriter, cfg JobConfig, scenario, key, src string, body []byte) {
+	ctype := map[string]string{
+		"csv":  "text/csv; charset=utf-8",
+		"text": "text/plain; charset=utf-8",
+		"json": "application/json",
+	}[cfg.Format]
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("X-Config-Hash", key)
+	w.Header().Set("X-Cache", src)
+	w.Header().Set("X-Scenario", scenario)
+	w.Write(body)
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name     string       `json:"name"`
+		Doc      string       `json:"doc"`
+		Defaults bench.Params `json:"defaults"`
+	}
+	var out []entry
+	for _, sc := range bench.Scenarios() {
+		out = append(out, entry{Name: sc.Name, Doc: sc.Doc, Defaults: sc.Defaults})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintf(w, "ok up=%s\n", time.Since(s.started).Round(time.Second))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncCacheGauges()
+	var buf bytes.Buffer
+	s.regMu.Lock()
+	err := s.reg.WritePrometheus(&buf)
+	s.regMu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// --- execution ---
+
+func (s *Server) scenarioSem(name string) chan struct{} {
+	s.scenMu.Lock()
+	defer s.scenMu.Unlock()
+	sem, ok := s.scenSem[name]
+	if !ok {
+		sem = make(chan struct{}, s.opts.PerScenario)
+		s.scenSem[name] = sem
+	}
+	return sem
+}
+
+// runJob is one job execution: admission, engine acquisition, the
+// simulation sweep, rendering, and cache fill. It runs in the flight
+// leader's goroutine; ctx is the collapsed run context (cancelled when
+// every waiter is gone, the job times out, or the server closes).
+func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, key string) (res *jobResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.count("serve/jobs.panicked", 1)
+			res = &jobResult{status: http.StatusInternalServerError,
+				errMsg: fmt.Sprintf("scenario %s panicked: %v", sc.Name, p)}
+		}
+	}()
+
+	// Admission: a full queue rejects immediately — shedding load beats
+	// stacking unbounded latency.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.count("serve/admission.rejects", 1)
+		return &jobResult{status: http.StatusTooManyRequests,
+			errMsg: "job queue full", retryAfter: retryAfterSeconds}
+	}
+	s.noteQueueDepth()
+	defer func() {
+		<-s.queue
+		s.noteQueueDepth()
+	}()
+
+	// Per-scenario cap, then a worker's engine. Both waits abort if every
+	// client interested in this run has gone away.
+	sem := s.scenarioSem(sc.Name)
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return cancelResult(ctx)
+	}
+	defer func() { <-sem }()
+
+	var eng *sweep.Engine
+	select {
+	case eng = <-s.engines:
+	case <-ctx.Done():
+		return cancelResult(ctx)
+	}
+	defer func() { s.engines <- eng }()
+
+	runCtx, cancel := context.WithTimeout(ctx, s.opts.JobTimeout)
+	defer cancel()
+	t0 := time.Now()
+	g, err := sc.Run(runCtx, eng, cfg.Params)
+	if err != nil {
+		return &jobResult{status: http.StatusBadRequest, errMsg: err.Error()}
+	}
+	if runCtx.Err() != nil {
+		// The sweep was cut short; the grid is partial and must never be
+		// served or cached.
+		return cancelResult(runCtx)
+	}
+	body, err := renderArtifact(g, cfg.Format)
+	if err != nil {
+		return &jobResult{status: http.StatusInternalServerError, errMsg: err.Error()}
+	}
+	s.observeLatency(sc.Name, time.Since(t0))
+	s.cache.Put(key, body)
+	return &jobResult{status: http.StatusOK, body: body}
+}
+
+func cancelResult(ctx context.Context) *jobResult {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &jobResult{status: http.StatusGatewayTimeout, errMsg: "job timed out"}
+	}
+	return &jobResult{status: http.StatusServiceUnavailable,
+		errMsg: "job cancelled", retryAfter: retryAfterSeconds}
+}
+
+// renderArtifact renders a completed grid in the requested format.
+func renderArtifact(g *bench.Grid, format string) ([]byte, error) {
+	var buf bytes.Buffer
+	switch format {
+	case "csv":
+		g.RenderCSV(&buf)
+	case "text":
+		g.Render(&buf)
+	case "json":
+		if err := g.RenderJSON(&buf); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fastJob is a micro-scenario config small enough that a test run takes
+// milliseconds.
+const fastJob = `{"scenario":"micro","params":{"sizes":[64],"iters":1}}`
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.SweepWorkers == 0 {
+		opts.SweepWorkers = 1
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// The central contract: a cached response is byte-identical to the cold
+// one, and the X-Cache header reports the path taken.
+func TestRunColdThenCachedByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	cold, coldBody := post(t, ts, fastJob)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d, body %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold X-Cache = %q, want miss", got)
+	}
+	if len(coldBody) == 0 {
+		t.Fatal("cold run returned an empty artifact")
+	}
+
+	hot, hotBody := post(t, ts, fastJob)
+	if hot.StatusCode != http.StatusOK {
+		t.Fatalf("cached run: status %d", hot.StatusCode)
+	}
+	if got := hot.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("cached X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, hotBody) {
+		t.Errorf("cached response differs from cold:\ncold: %s\nhot:  %s", coldBody, hotBody)
+	}
+	if ch, hh := cold.Header.Get("X-Config-Hash"), hot.Header.Get("X-Config-Hash"); ch == "" || ch != hh {
+		t.Errorf("config hash mismatch: cold %q hot %q", ch, hh)
+	}
+
+	// A defaults-spelled-out spelling of the same job hits the same entry.
+	alias, aliasBody := post(t, ts, `{"params":{"iters":1,"sizes":[64]},"format":"csv","scenario":"micro"}`)
+	if got := alias.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("aliased config X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, aliasBody) {
+		t.Error("aliased config returned different bytes")
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp, body := post(t, ts, `{"scenario":"micro","format":"json","params":{"sizes":[64],"iters":1}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json run: status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var doc struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("json artifact does not parse: %v", err)
+	}
+	if doc.Title == "" || len(doc.Header) == 0 || len(doc.Rows) == 0 {
+		t.Errorf("json artifact incomplete: %+v", doc)
+	}
+
+	resp, body = post(t, ts, `{"scenario":"micro","format":"text","params":{"sizes":[64],"iters":1}}`)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("==")) {
+		t.Errorf("text run: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestRunBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct{ name, body string }{
+		{"unknown scenario", `{"scenario":"nope"}`},
+		{"unknown field", `{"scenario":"micro","bogus":1}`},
+		{"unknown format", `{"scenario":"micro","format":"xml"}`},
+		{"invalid params", `{"scenario":"amo","params":{"procs":[100000]}}`},
+		{"not json", `sizes=64`},
+	} {
+		resp, _ := post(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// A full queue sheds load with 429 + Retry-After instead of stacking
+// latency.
+func TestQueueFullRejects(t *testing.T) {
+	s, ts := newTestServer(t, Options{QueueDepth: 2})
+
+	// Occupy every queue slot so the next admission check fails.
+	for i := 0; i < 2; i++ {
+		s.queue <- struct{}{}
+	}
+	defer func() {
+		<-s.queue
+		<-s.queue
+	}()
+
+	resp, body := post(t, ts, fastJob)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	s.regMu.Lock()
+	rejects := s.reg.Counter("serve/admission.rejects").Value()
+	s.regMu.Unlock()
+	if rejects != 1 {
+		t.Errorf("admission.rejects = %d, want 1", rejects)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	s.Drain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: want 503, got %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	runResp, _ := post(t, ts, fastJob)
+	if runResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST /run during drain: status %d, want 503", runResp.StatusCode)
+	}
+	if runResp.Header.Get("Retry-After") == "" {
+		t.Error("drain rejection without Retry-After")
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := map[string]bool{"micro": true, "amo": true, "fig9": true, "chaos": true, "scf": true, "tableii": true}
+	for _, e := range list {
+		delete(want, e.Name)
+		if e.Doc == "" {
+			t.Errorf("scenario %s has no doc", e.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("scenarios missing from listing: %v", want)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// One miss, one hit, so the counters are nonzero.
+	post(t, ts, fastJob)
+	post(t, ts, fastJob)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+
+	for _, want := range []string{
+		"serve_cache_hits 1",
+		"serve_cache_misses 1",
+		`serve_requests{scenario="micro"} 2`,
+		"serve_queue_depth ",
+		`serve_run_latency_ns_bucket{scenario="micro",le="+Inf"} 1`,
+		"serve_cache_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+}

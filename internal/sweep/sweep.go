@@ -27,6 +27,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -107,9 +108,25 @@ func (e *Engine) pool(w int) *armci.Pool {
 // always holds run i's value, and child registries merge into the parent
 // in index order, so any worker count produces identical bytes.
 func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
+	return MapCtx(e, context.Background(), n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation. One simulation is an
+// uninterruptible unit — a task that has started always runs to
+// completion — but once ctx is done no further task is started: workers
+// drain, the children of the tasks that did run merge into the parent in
+// index order, and the result slots of tasks that never ran keep their
+// zero values. Callers that care whether the sweep was cut short check
+// ctx.Err() afterwards and treat the output as partial (never render or
+// cache a grid assembled from a cancelled sweep). A nil ctx means no
+// cancellation.
+func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := e.workers
 	if workers > n {
@@ -118,6 +135,9 @@ func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
 	if workers <= 1 {
 		c := &Ctx{Pool: e.pool(0)}
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return out
+			}
 			c.Reg = e.parent.NewChild()
 			out[i] = fn(c, i)
 			e.parent.Merge(c.Reg)
@@ -133,7 +153,7 @@ func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
 		go func(w int) {
 			defer wg.Done()
 			c := &Ctx{Pool: e.pool(w)}
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -145,6 +165,9 @@ func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
 		}(w)
 	}
 	wg.Wait()
+	// A cancelled sweep leaves nil holes in regs (tasks that never ran);
+	// Merge treats nil as a no-op, so the tasks that did run still merge
+	// in index order.
 	for _, reg := range regs {
 		e.parent.Merge(reg)
 	}

@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/armci"
@@ -86,6 +88,59 @@ func TestMapPoolsPersist(t *testing.T) {
 	Map(e, 4, sweepTask)
 	if e.pools[0] != p0 {
 		t.Fatal("pool not reused across Map calls")
+	}
+}
+
+// TestMapCtxCancellation: once the context is cancelled no further task
+// starts, tasks that did run keep their results, and the children of the
+// completed tasks still merge into the parent.
+func TestMapCtxCancellation(t *testing.T) {
+	parent := obs.New(obs.WithTrackCap(64))
+	e := New(1, parent) // serial: deterministic cut point
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	out := MapCtx(e, ctx, 10, func(c *Ctx, i int) int {
+		ran++
+		c.Reg.Counter("test/ran").Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return i + 1
+	})
+	if ran != 3 {
+		t.Fatalf("ran %d tasks after cancel at i=2, want 3", ran)
+	}
+	for i, v := range out {
+		want := 0
+		if i <= 2 {
+			want = i + 1
+		}
+		if v != want {
+			t.Fatalf("slot %d = %d, want %d", i, v, want)
+		}
+	}
+	if got := parent.Counter("test/ran").Value(); got != 3 {
+		t.Fatalf("merged counter = %d, want 3 (completed tasks only)", got)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("ctx should report cancellation")
+	}
+}
+
+// TestMapCtxCancelledBeforeStart: a dead context runs nothing, at any
+// worker count.
+func TestMapCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		MapCtx(New(workers, nil), ctx, 8, func(c *Ctx, i int) int {
+			atomic.AddInt64(&ran, 1)
+			return i
+		})
+		if n := atomic.LoadInt64(&ran); n != 0 {
+			t.Fatalf("workers=%d: %d tasks ran under a cancelled context", workers, n)
+		}
 	}
 }
 

@@ -1,0 +1,33 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the serving layer (internal/serve).
+#
+# Starts simd, drives it with simload, and asserts:
+#   - zero transport/HTTP/byte-identity errors (simload exits nonzero on
+#     any cached response that differs from its cold copy),
+#   - the skewed phase actually hits the cache (hit ratio >= 0.5),
+#   - /metrics exposes the serving metrics,
+#   - SIGTERM drains gracefully (simd exits 0).
+set -eu
+
+ADDR=127.0.0.1:19763
+BIN=$(mktemp -d)
+trap 'kill "$SIMD_PID" 2>/dev/null; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/simd" ./cmd/simd
+go build -o "$BIN/simload" ./cmd/simload
+
+"$BIN/simd" -addr "$ADDR" &
+SIMD_PID=$!
+
+"$BIN/simload" -addr "$ADDR" -c 4 -n 200 -keys 6 -hot 0.8 \
+    -min-hit-ratio 0.5 -check-metrics
+
+# Graceful drain: TERM must lead to a clean exit 0 once in-flight work
+# finishes.
+kill -TERM "$SIMD_PID"
+if ! wait "$SIMD_PID"; then
+    echo "serve-smoke: simd did not drain cleanly" >&2
+    exit 1
+fi
+trap 'rm -rf "$BIN"' EXIT
+echo "serve smoke OK"
