@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep serve-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep serve-smoke live-smoke figures report scf clean
 
 all: vet test
 
@@ -66,6 +66,14 @@ race-sweep:
 # SIGTERM drains gracefully.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Live observability gate: a slow chaos sweep submitted asynchronously,
+# with two SSE clients attaching at different times — both must
+# reconstruct byte-identical artifacts (late attach replays the event
+# log); every cold simload key streamed with -attach must match its
+# synchronous bytes; SIGTERM must drain attached streams cleanly.
+live-smoke:
+	sh scripts/live-smoke.sh
 
 # Regenerate every figure/table at full scale into results/.
 figures:

@@ -8,12 +8,20 @@
 //
 //	armci-bench -fig 5 -metrics results/metrics.txt
 //	obs-report -metrics results/metrics.txt -top 10
+//
+// With -follow, obs-report instead attaches to a live simd run's SSE
+// stream and renders each metric snapshot as it arrives — one line per
+// delivered sweep point, then the terminal result:
+//
+//	obs-report -follow http://127.0.0.1:8080/runs/<id>
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -33,7 +41,16 @@ type metric struct {
 func main() {
 	path := flag.String("metrics", "results/metrics.txt", "metrics dump to read")
 	topN := flag.Int("top", 10, "how many hottest links to list")
+	followURL := flag.String("follow", "", "follow a live simd run instead: URL of /runs/<id>")
 	flag.Parse()
+
+	if *followURL != "" {
+		if err := follow(*followURL, *topN); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	f, err := os.Open(*path)
 	if err != nil {
@@ -100,6 +117,98 @@ func main() {
 
 	renderLayers(agg)
 	renderLinks(linkBusy, finalNS, *topN)
+}
+
+// follow attaches to a simd run's SSE event stream and renders its
+// metric snapshots live: a header from the hello event, one line per
+// delivered sweep point (progress plus the top counters by value from
+// that point's snapshot), and the run's terminal status.
+func follow(runURL string, topN int) error {
+	resp, err := http.Get(strings.TrimSuffix(runURL, "/") + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("attach: HTTP %d", resp.StatusCode)
+	}
+
+	point := struct{ I, N int }{-1, 0}
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data := line[len("data: "):]
+			switch event {
+			case "hello":
+				var h struct{ ID, Scenario, Format string }
+				if err := json.Unmarshal([]byte(data), &h); err != nil {
+					return fmt.Errorf("hello: %w", err)
+				}
+				fmt.Printf("run %s  scenario=%s format=%s\n", h.ID, h.Scenario, h.Format)
+			case "state":
+				var st struct{ State string }
+				json.Unmarshal([]byte(data), &st)
+				fmt.Printf("state %s\n", st.State)
+			case "point":
+				json.Unmarshal([]byte(data), &point)
+			case "metrics":
+				var snap struct {
+					Counters   map[string]int64           `json:"counters"`
+					Gauges     map[string]int64           `json:"gauges"`
+					Histograms map[string]json.RawMessage `json:"histograms"`
+				}
+				if err := json.Unmarshal([]byte(data), &snap); err != nil {
+					return fmt.Errorf("metrics snapshot: %w", err)
+				}
+				fmt.Printf("point %d/%d  %d counters, %d gauges, %d histograms",
+					point.I+1, point.N, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+				for _, kv := range topCounters(snap.Counters, topN) {
+					fmt.Printf("  %s=%d", kv.name, kv.value)
+				}
+				fmt.Println()
+			case "dropped":
+				fmt.Printf("trace budget exhausted: %s\n", data)
+			case "done":
+				fmt.Printf("done %s\n", data)
+			case "drain":
+				fmt.Println("server draining; stream closed")
+			}
+		}
+	}
+	return sc.Err()
+}
+
+type counterKV struct {
+	name  string
+	value int64
+}
+
+// topCounters returns the n largest counters, ties broken by name so the
+// rendering is deterministic.
+func topCounters(counters map[string]int64, n int) []counterKV {
+	out := make([]counterKV, 0, len(counters))
+	for name, v := range counters {
+		out = append(out, counterKV{name, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].value != out[j].value {
+			return out[i].value > out[j].value
+		}
+		return out[i].name < out[j].name
+	})
+	if n < 0 {
+		n = 0
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
 }
 
 // splitLine parses "kind name rest..." from one metrics line; lines that

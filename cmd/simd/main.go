@@ -1,14 +1,21 @@
 // Command simd is the simulation daemon: it serves the bench scenario
-// registry over HTTP with a deterministic result cache and admission
-// control (see internal/serve).
+// registry over HTTP with a deterministic result cache, admission
+// control, and a live observability plane (see internal/serve).
 //
 //	simd -addr :8080 &
 //	curl -d '{"scenario":"fig9"}' localhost:8080/run
+//	curl -d '{"scenario":"chaos"}' localhost:8080/runs       # async submit
+//	curl -N localhost:8080/runs/<id>/events                  # SSE live attach
 //	curl localhost:8080/metrics
 //
+// -log enables structured request logging on stderr; -debug-addr starts
+// a second listener serving net/http/pprof (kept off the service port so
+// profiling is never exposed where jobs are).
+//
 // On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new jobs
-// are refused, in-flight requests finish (up to -drain-timeout), then
-// the process exits 0.
+// are refused, attached SSE streams get a drain event and close,
+// in-flight requests finish (up to -drain-timeout), then the process
+// exits 0.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,16 +41,33 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget, MiB")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep workers (0 = GOMAXPROCS/workers)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	logRequests := flag.Bool("log", false, "log one structured line per request to stderr")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:      *workers,
 		PerScenario:  *perScenario,
 		QueueDepth:   *queue,
 		CacheBytes:   *cacheMB << 20,
 		SweepWorkers: *sweepWorkers,
-	})
+	}
+	if *logRequests {
+		opts.AccessLog = os.Stderr
+	}
+	srv := serve.New(opts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// The pprof mux is http.DefaultServeMux (the blank import's
+		// registrations); serve it on its own listener only.
+		go func() {
+			fmt.Fprintf(os.Stderr, "simd: pprof on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "simd: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

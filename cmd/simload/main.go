@@ -10,14 +10,22 @@
 //
 //	simload -addr 127.0.0.1:8080 -c 4 -n 200 -keys 8 -hot 0.8
 //
+// With -attach > 0, that fraction of cold-phase keys is additionally
+// submitted asynchronously (POST /runs) and followed over the SSE live
+// stream; the run's streamed result chunks must reassemble to exactly
+// the bytes the synchronous endpoint returns.
+//
 // Exit status is nonzero on any transport error, HTTP error status,
-// byte mismatch against the cold copy, or (when -min-hit-ratio is set)
-// a skew-phase hit ratio below the floor.
+// byte mismatch against the cold copy, a streamed-artifact mismatch, or
+// (when -min-hit-ratio is set) a skew-phase hit ratio below the floor.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +70,96 @@ func buildKeys(scenarios []string, nkeys int) []key {
 		out = append(out, key{name: sc, body: body})
 	}
 	return out
+}
+
+// attachRun submits body asynchronously, attaches to the run's SSE
+// stream, and reassembles the artifact from its result chunks. Returns
+// the reassembled bytes (nil with an error on any protocol violation).
+func attachRun(client *http.Client, base, body string) ([]byte, error) {
+	resp, err := client.Post(base+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil || info.ID == "" {
+		return nil, fmt.Errorf("submit: bad response (status %d, err %v)", resp.StatusCode, err)
+	}
+
+	stream, err := client.Get(base + "/runs/" + info.ID + "/events")
+	if err != nil {
+		return nil, fmt.Errorf("attach: %w", err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("attach: HTTP %d", stream.StatusCode)
+	}
+
+	var artifact []byte
+	var event string
+	sawDone := false
+	nextChunk := 0
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data := line[len("data: "):]
+			switch event {
+			case "result":
+				var chunk struct {
+					I    int    `json:"i"`
+					Data string `json:"data"`
+				}
+				if err := json.Unmarshal([]byte(data), &chunk); err != nil {
+					return nil, fmt.Errorf("result chunk: %w", err)
+				}
+				if chunk.I != nextChunk {
+					return nil, fmt.Errorf("result chunk %d out of order (want %d)", chunk.I, nextChunk)
+				}
+				nextChunk++
+				raw, err := base64.StdEncoding.DecodeString(chunk.Data)
+				if err != nil {
+					return nil, fmt.Errorf("result chunk %d: %w", chunk.I, err)
+				}
+				artifact = append(artifact, raw...)
+			case "done":
+				var done struct {
+					Status string `json:"status"`
+					Bytes  int    `json:"bytes"`
+				}
+				if err := json.Unmarshal([]byte(data), &done); err != nil {
+					return nil, fmt.Errorf("done event: %w", err)
+				}
+				if done.Status != "done" {
+					return nil, fmt.Errorf("run finished %s", done.Status)
+				}
+				if done.Bytes != len(artifact) {
+					return nil, fmt.Errorf("done reports %d bytes, reassembled %d", done.Bytes, len(artifact))
+				}
+				sawDone = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream read: %w", err)
+	}
+	if !sawDone {
+		return nil, fmt.Errorf("stream closed without a done event")
+	}
+	return artifact, nil
+}
+
+// attachOutcome is one live-attach verification result.
+type attachOutcome struct {
+	body []byte
+	err  error
 }
 
 type stats struct {
@@ -116,6 +214,7 @@ func main() {
 	wait := flag.Duration("wait", 10*time.Second, "how long to poll /healthz for the daemon to come up")
 	minHitRatio := flag.Float64("min-hit-ratio", -1, "fail if the skew-phase hit ratio is below this (<0 disables)")
 	checkMetrics := flag.Bool("check-metrics", false, "fetch /metrics afterwards and assert serving metrics are present")
+	attach := flag.Float64("attach", 0, "fraction of cold-phase keys also followed over the SSE live stream")
 	flag.Parse()
 
 	base := "http://" + *addr
@@ -189,6 +288,18 @@ func main() {
 		go func(k int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+
+			// A deterministic per-key draw decides which runs get a live
+			// SSE follower racing the synchronous request.
+			var attCh chan attachOutcome
+			if *attach > 0 && rand.New(rand.NewSource(*seed+int64(k)*2654435761)).Float64() < *attach {
+				attCh = make(chan attachOutcome, 1)
+				go func() {
+					b, err := attachRun(client, base, keys[k].body)
+					attCh <- attachOutcome{body: b, err: err}
+				}()
+			}
+
 			t0 := time.Now()
 			resp, err := client.Post(base+"/run", "application/json", strings.NewReader(keys[k].body))
 			if err != nil {
@@ -207,6 +318,21 @@ func main() {
 			}
 			golden[k] = body
 			coldStats.record(time.Since(t0), resp.Header.Get("X-Cache"))
+
+			if attCh != nil {
+				out := <-attCh
+				switch {
+				case out.err != nil:
+					atomic.AddInt64(&coldStats.errs, 1)
+					failed.Store(true)
+					fmt.Fprintf(os.Stderr, "simload: attach key %d: %v\n", k, out.err)
+				case !bytes.Equal(out.body, body):
+					atomic.AddInt64(&coldStats.errs, 1)
+					failed.Store(true)
+					fmt.Fprintf(os.Stderr, "simload: attach key %d: streamed artifact differs from synchronous response (sha %x vs %x)\n",
+						k, sha256.Sum256(out.body), sha256.Sum256(body))
+				}
+			}
 		}(k)
 	}
 	wg.Wait()

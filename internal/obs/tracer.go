@@ -271,31 +271,36 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 		return evs[i].rec.seq < evs[j].rec.seq
 	})
 	for _, e := range evs {
-		rec := e.rec
-		var line string
-		// ts/dur are microseconds; %d.%03d keeps exact ns resolution
-		// without float formatting.
-		ts := fmt.Sprintf("%d.%03d", rec.start/1000, rec.start%1000)
-		switch rec.phase {
-		case 'X':
-			dur := rec.end - rec.start
-			line = fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%d.%03d,"name":%s`,
-				e.pid, e.tid, ts, dur/1000, dur%1000, jstr(rec.name))
-		default:
-			line = fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s`,
-				e.pid, e.tid, ts, jstr(rec.name))
-		}
-		if rec.cat != "" {
-			line += fmt.Sprintf(`,"cat":%s`, jstr(rec.cat))
-		}
-		if rec.hasArg {
-			line += fmt.Sprintf(`,"args":{"arg":%d}`, rec.arg)
-		}
-		line += "}"
-		if err := emit(line); err != nil {
+		if err := emit(chromeEventLine(e.rec, e.pid, e.tid)); err != nil {
 			return err
 		}
 	}
 	_, err := io.WriteString(w, "\n]}\n")
 	return err
+}
+
+// chromeEventLine encodes one retained record as a single-line Chrome
+// trace_event JSON object (shared by WriteChromeTrace and the streaming
+// TraceStreamer).
+func chromeEventLine(rec spanRec, pid, tid int) string {
+	var line string
+	// ts/dur are microseconds; %d.%03d keeps exact ns resolution
+	// without float formatting.
+	ts := fmt.Sprintf("%d.%03d", rec.start/1000, rec.start%1000)
+	switch rec.phase {
+	case 'X':
+		dur := rec.end - rec.start
+		line = fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%d.%03d,"name":%s`,
+			pid, tid, ts, dur/1000, dur%1000, jstr(rec.name))
+	default:
+		line = fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","name":%s`,
+			pid, tid, ts, jstr(rec.name))
+	}
+	if rec.cat != "" {
+		line += fmt.Sprintf(`,"cat":%s`, jstr(rec.cat))
+	}
+	if rec.hasArg {
+		line += fmt.Sprintf(`,"args":{"arg":%d}`, rec.arg)
+	}
+	return line + "}"
 }

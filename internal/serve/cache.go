@@ -117,18 +117,7 @@ func (f *flightGroup) do(reqCtx, base context.Context, key string,
 	f.mu.Lock()
 	call, shared := f.inflight[key]
 	if !shared {
-		runCtx, cancel := context.WithCancel(base)
-		call = &flightCall{done: make(chan struct{}), cancel: cancel}
-		f.inflight[key] = call
-		go func() {
-			r := fn(runCtx)
-			f.mu.Lock()
-			call.res = r
-			delete(f.inflight, key)
-			f.mu.Unlock()
-			close(call.done)
-			cancel()
-		}()
+		call = f.leadLocked(base, key, fn)
 	}
 	call.waiters++
 	f.mu.Unlock()
@@ -145,4 +134,40 @@ func (f *flightGroup) do(reqCtx, base context.Context, key string,
 		f.mu.Unlock()
 		return nil, shared, reqCtx.Err()
 	}
+}
+
+// leadLocked installs a new flight leader for key and spawns its
+// execution goroutine. Caller holds f.mu.
+func (f *flightGroup) leadLocked(base context.Context, key string,
+	fn func(ctx context.Context) *jobResult) *flightCall {
+	runCtx, cancel := context.WithCancel(base)
+	call := &flightCall{done: make(chan struct{}), cancel: cancel}
+	f.inflight[key] = call
+	go func() {
+		r := fn(runCtx)
+		f.mu.Lock()
+		call.res = r
+		delete(f.inflight, key)
+		f.mu.Unlock()
+		close(call.done)
+		cancel()
+	}()
+	return call
+}
+
+// start launches an execution for key without waiting on it — the async
+// submit path. The run holds one permanent waiter slot so synchronous
+// waiters joining and abandoning the same key can never cancel an
+// async-submitted run; the slot dies with the call when fn returns.
+// Returns false (and starts nothing) when key is already in flight.
+func (f *flightGroup) start(base context.Context, key string,
+	fn func(ctx context.Context) *jobResult) (started bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.inflight[key]; ok {
+		return false
+	}
+	call := f.leadLocked(base, key, fn)
+	call.waiters++
+	return true
 }

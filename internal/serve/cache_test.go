@@ -224,6 +224,55 @@ func TestFlightAbandonCancelsRun(t *testing.T) {
 	}
 }
 
+// TestFlightStartSurvivesAbandonedWaiters: an async-submitted run holds
+// a permanent waiter slot, so synchronous waiters joining and walking
+// away must not cancel it.
+func TestFlightStartSurvivesAbandonedWaiters(t *testing.T) {
+	f := newFlightGroup()
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	fn := func(ctx context.Context) *jobResult {
+		<-release
+		if ctx.Err() != nil {
+			sawCancel.Store(true)
+		}
+		return &jobResult{status: 200, body: []byte("ok")}
+	}
+
+	if !f.start(context.Background(), "k", fn) {
+		t.Fatal("first start did not launch")
+	}
+	if f.start(context.Background(), "k", fn) {
+		t.Fatal("second start for the same key launched a duplicate run")
+	}
+
+	// A sync waiter joins the in-flight run and abandons it — the run's
+	// permanent async slot must keep the context alive.
+	reqCtx, abandon := context.WithCancel(context.Background())
+	abandon()
+	if _, shared, err := f.do(reqCtx, context.Background(), "k", fn); !shared || err == nil {
+		t.Fatalf("abandoning waiter: shared=%v err=%v, want shared non-nil error", shared, err)
+	}
+
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f.mu.Lock()
+		_, inflight := f.inflight["k"]
+		f.mu.Unlock()
+		if !inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async run never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sawCancel.Load() {
+		t.Fatal("async run was cancelled by an abandoned sync waiter")
+	}
+}
+
 func TestNormalizeErrors(t *testing.T) {
 	for _, tc := range []struct {
 		name string

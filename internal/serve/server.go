@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -40,6 +41,16 @@ type Options struct {
 	SweepWorkers int
 	// JobTimeout aborts a single job's execution (default 2 minutes).
 	JobTimeout time.Duration
+	// RunHistory bounds retained run records, live plus finished
+	// (default 64). Finished runs evict FIFO; live runs never evict.
+	RunHistory int
+	// TraceBudget caps trace-event lines admitted into one run's event
+	// log (default 4096); past it, explicit dropped events record the
+	// truncation.
+	TraceBudget int
+	// AccessLog, when non-nil, receives one structured logfmt line per
+	// request. nil (the default) disables request logging entirely.
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +74,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = 2 * time.Minute
+	}
+	if o.RunHistory <= 0 {
+		o.RunHistory = 64
+	}
+	if o.TraceBudget <= 0 {
+		o.TraceBudget = 4096
 	}
 	return o
 }
@@ -93,6 +110,7 @@ type Server struct {
 	opts   Options
 	cache  *Cache
 	flight *flightGroup
+	runs   *runRegistry
 
 	engines chan *sweep.Engine // free list, capacity Workers
 	queue   chan struct{}      // jobs in system, capacity QueueDepth
@@ -105,11 +123,14 @@ type Server struct {
 	regMu sync.Mutex
 	reg   *obs.Registry
 
-	base     context.Context
-	stop     context.CancelFunc
-	draining atomic.Bool
-	started  time.Time
-	mux      *http.ServeMux
+	base      context.Context
+	stop      context.CancelFunc
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed by Drain; SSE streams watch it
+	drainOnce sync.Once
+	logMu     sync.Mutex // serializes AccessLog lines
+	started   time.Time
+	mux       *http.ServeMux
 }
 
 // New builds a Server. The returned server is ready; it owns Workers
@@ -121,12 +142,14 @@ func New(opts Options) *Server {
 		opts:    opts,
 		cache:   NewCache(opts.CacheBytes),
 		flight:  newFlightGroup(),
+		runs:    newRunRegistry(opts.RunHistory),
 		engines: make(chan *sweep.Engine, opts.Workers),
 		queue:   make(chan struct{}, opts.QueueDepth),
 		scenSem: make(map[string]chan struct{}),
 		reg:     obs.New(),
 		base:    base,
 		stop:    stop,
+		drainCh: make(chan struct{}),
 		started: time.Now(),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -137,17 +160,32 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs", s.handleRuns)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRunGet)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	return s
 }
 
-// Handler returns the HTTP handler to mount.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler to mount (wrapped in the request
+// logger when Options.AccessLog is set).
+func (s *Server) Handler() http.Handler {
+	if s.opts.AccessLog != nil {
+		return s.withAccessLog(s.mux)
+	}
+	return s.mux
+}
 
 // Drain flips the server into draining mode: /healthz answers 503 so
-// load balancers stop routing here, and new job submissions are refused.
-// In-flight requests keep running; pair with http.Server.Shutdown to
-// wait for them.
-func (s *Server) Drain() { s.draining.Store(true) }
+// load balancers stop routing here, new job submissions are refused, and
+// every attached SSE stream receives a terminal drain event and closes
+// (so http.Server.Shutdown is not held open by live-attach clients).
+// In-flight jobs keep running; pair with http.Server.Shutdown to wait
+// for them.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Close cancels the server's base context, aborting still-running jobs
 // at their next sweep-point boundary. Call after the HTTP listener has
@@ -193,6 +231,7 @@ func (s *Server) syncCacheGauges() {
 // --- handlers ---
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	noStore(w)
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -210,9 +249,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cfg.Hash()
 	s.count("serve/requests{scenario="+sc.Name+"}", 1)
+	access(r).scenario = sc.Name
 
 	if body, ok := s.cache.Get(key); ok {
 		s.count("serve/cache.hits", 1)
+		access(r).cache = "hit"
 		s.writeArtifact(w, cfg, sc.Name, key, "hit", body)
 		return
 	}
@@ -231,6 +272,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		src = "shared"
 		s.count("serve/flight.shared", 1)
+	}
+	access(r).cache = src
+	if run := s.runs.get(runID(key)); run != nil {
+		access(r).queueWait = run.QueueWait()
 	}
 	if res.status != http.StatusOK {
 		if res.retryAfter > 0 {
@@ -288,6 +333,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	noStore(w)
 	w.Write(buf.Bytes())
 }
 
@@ -305,16 +351,20 @@ func (s *Server) scenarioSem(name string) chan struct{} {
 }
 
 // runJob is one job execution: admission, engine acquisition, the
-// simulation sweep, rendering, and cache fill. It runs in the flight
-// leader's goroutine; ctx is the collapsed run context (cancelled when
-// every waiter is gone, the job times out, or the server closes).
+// simulation sweep (streamed into the run's event log point by point),
+// rendering, and cache fill. It runs in the flight leader's goroutine;
+// ctx is the collapsed run context (cancelled when every waiter is gone,
+// the job times out, or the server closes).
 func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, key string) (res *jobResult) {
+	run := s.runs.begin(key, sc.Name, cfg.Format)
 	defer func() {
 		if p := recover(); p != nil {
 			s.count("serve/jobs.panicked", 1)
 			res = &jobResult{status: http.StatusInternalServerError,
 				errMsg: fmt.Sprintf("scenario %s panicked: %v", sc.Name, p)}
 		}
+		st := run.finish(res)
+		s.count("serve/runs.finished{state="+string(st)+"}", 1)
 	}()
 
 	// Admission: a full queue rejects immediately — shedding load beats
@@ -349,9 +399,19 @@ func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, 
 		return cancelResult(ctx)
 	}
 	defer func() { s.engines <- eng }()
+	run.setRunning()
 
+	// Per-run observability: the sweep's children merge into a private
+	// registry (the pooled engine has no parent of its own), and each
+	// in-order point delivery appends point/metrics/trace events to the
+	// run's log. Everything streamed is a pure function of the delivery
+	// sequence, so the log is byte-identical at any SweepWorkers setting.
+	runReg := obs.New(obs.WithTrackCap(runTrackCap))
 	runCtx, cancel := context.WithTimeout(ctx, s.opts.JobTimeout)
 	defer cancel()
+	runCtx = sweep.WithRegistry(runCtx, runReg)
+	runCtx = sweep.WithEmitter(runCtx, newRunEmitter(run, runReg, s.opts.TraceBudget))
+
 	t0 := time.Now()
 	g, err := sc.Run(runCtx, eng, cfg.Params)
 	if err != nil {
@@ -370,6 +430,11 @@ func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, 
 	s.cache.Put(key, body)
 	return &jobResult{status: http.StatusOK, body: body}
 }
+
+// runTrackCap bounds each per-run trace track's ring. Service jobs keep
+// a shallow window (the event log's TraceBudget is the real bound);
+// paper-scale tracing stays the CLI drivers' business.
+const runTrackCap = 64
 
 func cancelResult(ctx context.Context) *jobResult {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {

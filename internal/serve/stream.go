@@ -1,0 +1,174 @@
+package serve
+
+// stream.go is the HTTP face of the run registry: the listing and
+// introspection endpoints plus the SSE live-attach stream. The stream is
+// a straight replay of the run's append-only event log — a subscriber
+// attaching at any moment writes the log from index 0, so early and late
+// attachers always receive identical bytes. Slow consumers cost nothing:
+// an SSE write blocks only that subscriber's handler goroutine, never
+// the simulation (the emitter appends to the log and moves on).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// noStore stamps the cache hygiene headers: live observability payloads
+// (and artifact responses keyed by POST bodies) must never be served
+// from an intermediary cache.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	noStore(w)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit is POST /runs: async job submission. The response is
+// immediate — 200 with the run ID when the artifact is already cached
+// (the registry synthesizes a replayable finished run), 202 otherwise —
+// and the client follows the run via GET /runs/{id} or the SSE stream.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		noStore(w)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	cfg, err := ParseJobConfig(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		noStore(w)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, sc, err := cfg.Normalize()
+	if err != nil {
+		noStore(w)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := cfg.Hash()
+	s.count("serve/submits{scenario="+sc.Name+"}", 1)
+	access(r).scenario = sc.Name
+
+	if body, ok := s.cache.Get(key); ok {
+		s.count("serve/cache.hits", 1)
+		access(r).cache = "hit"
+		run := s.runs.cached(key, sc.Name, cfg.Format, body)
+		writeJSON(w, http.StatusOK, run.Info())
+		return
+	}
+	s.count("serve/cache.misses", 1)
+	access(r).cache = "miss"
+
+	// Create the record before launching so a GET /runs/{id} issued right
+	// after the 202 can never race a not-yet-registered run.
+	run := s.runs.begin(key, sc.Name, cfg.Format)
+	s.flight.start(s.base, key, func(ctx context.Context) *jobResult {
+		return s.runJob(ctx, sc, cfg, key)
+	})
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+// handleRuns is GET /runs: every retained run, admission order.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	infos := s.runs.list()
+	if infos == nil {
+		infos = []RunInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleRunGet is GET /runs/{id}. A run evicted from the registry whose
+// artifact still sits in the result cache answers with a synthesized
+// done record (evicted=true) instead of a 404 — the artifact, which is
+// the run's identity, is still addressable.
+func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if run := s.runs.get(id); run != nil {
+		writeJSON(w, http.StatusOK, run.Info())
+		return
+	}
+	if info, ok := s.runs.keyFor(id); ok {
+		if body, ok := s.cache.Get(info.key); ok {
+			writeJSON(w, http.StatusOK, RunInfo{
+				ID: id, Scenario: info.scenario, Format: info.format,
+				State: RunDone, Bytes: len(body), Evicted: true,
+			})
+			return
+		}
+	}
+	noStore(w)
+	http.Error(w, "unknown run", http.StatusNotFound)
+}
+
+// handleRunEvents is GET /runs/{id}/events: the SSE live-attach stream.
+// Replay starts at log index 0 regardless of when the client attaches;
+// the run's determinism makes the replay exact. The stream ends after
+// the run's terminal `done` event, on client disconnect, or — when the
+// server drains — after an explicit connection-level `drain` event (the
+// drain event is about this connection, not the run, so it is never part
+// of the replayable log).
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	run := s.runs.get(id)
+	if run == nil {
+		// Evicted but cached: resurrect a replayable finished record.
+		if info, ok := s.runs.keyFor(id); ok {
+			if body, ok := s.cache.Get(info.key); ok {
+				run = s.runs.cached(info.key, info.scenario, info.format, body)
+			}
+		}
+	}
+	if run == nil {
+		noStore(w)
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		noStore(w)
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	noStore(w)
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	run.addWatcher()
+	defer run.removeWatcher()
+	access(r).scenario = run.scenario
+
+	next := 0
+	for {
+		evs, notify, finished := run.wait(next)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if finished {
+			// The log never grows past the done event; everything is sent.
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			fmt.Fprintf(w, "event: drain\ndata: {\"draining\":true}\n\n")
+			fl.Flush()
+			return
+		}
+	}
+}

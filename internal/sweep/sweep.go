@@ -10,12 +10,14 @@
 // handled here:
 //
 //   - observability: every run records into its own child registry
-//     (Registry.NewChild of the engine's parent), and children are merged
-//     back in submission order once a Map completes. Merge semantics are
-//     chosen so the parent ends up byte-identical to what serial runs
-//     recording into one shared registry would have produced — even the
-//     serial path (workers=1) goes through child+merge, so worker count
-//     can never change a single exported byte.
+//     (Registry.NewChild of the engine's parent), and children merge back
+//     in submission order as points complete — ordered incremental
+//     emission through a reorder buffer, not a barrier — optionally
+//     notifying a per-run Emitter after each in-order merge. Merge
+//     semantics are chosen so the parent ends up byte-identical to what
+//     serial runs recording into one shared registry would have produced
+//     — even the serial path (workers=1) goes through child+merge, so
+//     worker count can never change a single exported byte.
 //   - results: Map writes each run's result into its submission slot, so
 //     callers assemble tables keyed by configuration index, never by
 //     completion order.
@@ -120,6 +122,18 @@ func Map[T any](e *Engine, n int, fn func(c *Ctx, i int) T) []T {
 // ctx.Err() afterwards and treat the output as partial (never render or
 // cache a grid assembled from a cancelled sweep). A nil ctx means no
 // cancellation.
+//
+// Result delivery is ordered incremental emission, not a barrier:
+// workers publish completed points as they finish, and the caller's
+// goroutine merges each point's child registry — and notifies the
+// context's Emitter, when one is attached via WithEmitter — as soon as
+// every earlier index has been delivered. A reorder buffer holds
+// out-of-order completions (at most the number of points still in
+// flight past the delivery cursor). Since the merge order is exactly
+// the index order the old barrier implementation used, the parent
+// registry's final bytes — and therefore every rendered artifact — are
+// unchanged: TestMapOrderedEmissionMatchesBarrier pins this against a
+// reference barrier implementation at several worker counts.
 func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
@@ -127,6 +141,14 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	parent := registryFrom(ctx, e.parent)
+	em := emitterFrom(ctx)
+	deliver := func(i int, reg *obs.Registry) {
+		parent.Merge(reg)
+		if em != nil {
+			em.PointDone(i, n, reg)
+		}
 	}
 	workers := e.workers
 	if workers > n {
@@ -138,15 +160,16 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 			if ctx.Err() != nil {
 				return out
 			}
-			c.Reg = e.parent.NewChild()
+			c.Reg = parent.NewChild()
 			out[i] = fn(c, i)
-			e.parent.Merge(c.Reg)
+			deliver(i, c.Reg)
 		}
 		return out
 	}
 
 	regs := make([]*obs.Registry, n)
 	next := int64(-1)
+	donec := make(chan int, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -158,18 +181,36 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 				if i >= n {
 					return
 				}
-				c.Reg = e.parent.NewChild()
+				c.Reg = parent.NewChild()
 				regs[i] = c.Reg
 				out[i] = fn(c, i)
+				donec <- i
 			}
 		}(w)
 	}
-	wg.Wait()
-	// A cancelled sweep leaves nil holes in regs (tasks that never ran);
-	// Merge treats nil as a no-op, so the tasks that did run still merge
-	// in index order.
-	for _, reg := range regs {
-		e.parent.Merge(reg)
+	go func() {
+		wg.Wait()
+		close(donec)
+	}()
+
+	// Ordered delivery: the reorder buffer (ready) holds out-of-order
+	// completions until every earlier index has arrived.
+	ready := make([]bool, n)
+	delivered := 0
+	for i := range donec {
+		ready[i] = true
+		for delivered < n && ready[delivered] {
+			deliver(delivered, regs[delivered])
+			delivered++
+		}
+	}
+	// A cancelled sweep leaves holes (tasks that never started) that stall
+	// the cursor; points completed past the first hole still deliver in
+	// index order, matching the barrier path's nil-skipping merge loop.
+	for i := delivered; i < n; i++ {
+		if ready[i] {
+			deliver(i, regs[i])
+		}
 	}
 	return out
 }

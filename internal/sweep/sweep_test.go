@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -141,6 +142,161 @@ func TestMapCtxCancelledBeforeStart(t *testing.T) {
 		if n := atomic.LoadInt64(&ran); n != 0 {
 			t.Fatalf("workers=%d: %d tasks ran under a cancelled context", workers, n)
 		}
+	}
+}
+
+// recordingEmitter captures the delivery order and a dump of the parent
+// registry at each delivery, to pin the ordered-incremental contract.
+type recordingEmitter struct {
+	parent *obs.Registry
+	order  []int
+	ns     []int
+	dumps  []string
+	childs []bool // child registry non-nil?
+}
+
+func (em *recordingEmitter) PointDone(i, n int, reg *obs.Registry) {
+	em.order = append(em.order, i)
+	em.ns = append(em.ns, n)
+	em.childs = append(em.childs, reg != nil)
+	var buf bytes.Buffer
+	em.parent.WriteMetrics(&buf)
+	em.dumps = append(em.dumps, buf.String())
+}
+
+// TestMapEmitterOrderedDelivery: PointDone fires exactly once per point,
+// in submission-index order, after point i's child merged — and the
+// whole emission sequence (including the parent snapshots taken inside
+// the callback) is identical at every worker count.
+func TestMapEmitterOrderedDelivery(t *testing.T) {
+	const n = 11
+	run := func(workers int) *recordingEmitter {
+		parent := obs.New(obs.WithTrackCap(64))
+		em := &recordingEmitter{parent: parent}
+		ctx := WithEmitter(context.Background(), em)
+		MapCtx(New(workers, parent), ctx, n, sweepTask)
+		return em
+	}
+	ref := run(1)
+	if len(ref.order) != n {
+		t.Fatalf("serial run delivered %d points, want %d", len(ref.order), n)
+	}
+	for i, got := range ref.order {
+		if got != i {
+			t.Fatalf("delivery %d was point %d, want %d", i, got, i)
+		}
+		if ref.ns[i] != n {
+			t.Fatalf("delivery %d reported n=%d, want %d", i, ref.ns[i], n)
+		}
+		if !ref.childs[i] {
+			t.Fatalf("delivery %d had a nil child despite a parent registry", i)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		em := run(workers)
+		if fmt.Sprint(em.order) != fmt.Sprint(ref.order) {
+			t.Fatalf("workers=%d delivery order %v != serial %v", workers, em.order, ref.order)
+		}
+		for i := range ref.dumps {
+			if em.dumps[i] != ref.dumps[i] {
+				t.Fatalf("workers=%d: parent snapshot at delivery %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// barrierMap is the pre-refactor reference implementation: run every
+// task, then merge all children behind a barrier in index order.
+func barrierMap(workers, n int, parent *obs.Registry, fn func(c *Ctx, i int) sim.Time) []sim.Time {
+	e := New(workers, nil)
+	out := make([]sim.Time, n)
+	regs := make([]*obs.Registry, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &Ctx{Pool: e.pool(w)}
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				c.Reg = parent.NewChild()
+				regs[i] = c.Reg
+				out[i] = fn(c, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, reg := range regs {
+		parent.Merge(reg)
+	}
+	return out
+}
+
+// TestMapOrderedEmissionMatchesBarrier is the refactor's byte-identity
+// proof: the incremental-emission engine must leave the parent registry
+// (metrics and trace exports) exactly as the old barrier-merge
+// implementation did, at every worker count.
+func TestMapOrderedEmissionMatchesBarrier(t *testing.T) {
+	const n = 10
+	refParent := obs.New(obs.WithTrackCap(64))
+	refVals := barrierMap(1, n, refParent, sweepTask)
+	refDump := registryDump(t, refParent)
+
+	for _, workers := range []int{1, 2, 4} {
+		bp := obs.New(obs.WithTrackCap(64))
+		bv := barrierMap(workers, n, bp, sweepTask)
+		if fmt.Sprint(bv) != fmt.Sprint(refVals) || registryDump(t, bp) != refDump {
+			t.Fatalf("reference barrier not worker-invariant at %d workers", workers)
+		}
+
+		ip := obs.New(obs.WithTrackCap(64))
+		iv := Map(New(workers, ip), n, sweepTask)
+		if fmt.Sprint(iv) != fmt.Sprint(refVals) {
+			t.Fatalf("incremental results differ from barrier at workers=%d", workers)
+		}
+		if got := registryDump(t, ip); got != refDump {
+			t.Fatalf("incremental merged registry differs from barrier at workers=%d", workers)
+		}
+	}
+}
+
+// TestMapRegistryOverride: WithRegistry redirects a sweep's children to
+// a per-run registry, leaving the pooled engine's parent untouched.
+func TestMapRegistryOverride(t *testing.T) {
+	engineParent := obs.New(obs.WithTrackCap(64))
+	runReg := obs.New(obs.WithTrackCap(64))
+	e := New(2, engineParent)
+	ctx := WithRegistry(context.Background(), runReg)
+	MapCtx(e, ctx, 4, func(c *Ctx, i int) int {
+		c.Reg.Counter("test/points").Add(1)
+		return i
+	})
+	if got := runReg.Counter("test/points").Value(); got != 4 {
+		t.Fatalf("override registry counter = %d, want 4", got)
+	}
+	if got := engineParent.Counter("test/points").Value(); got != 0 {
+		t.Fatalf("engine parent saw %d points despite the override", got)
+	}
+}
+
+// TestMapEmitterCancellation: emission respects cancellation the same
+// way results do — only points that ran are delivered, in index order.
+func TestMapEmitterCancellation(t *testing.T) {
+	parent := obs.New(obs.WithTrackCap(64))
+	em := &recordingEmitter{parent: parent}
+	ctx, cancel := context.WithCancel(WithEmitter(context.Background(), em))
+	MapCtx(New(1, parent), ctx, 10, func(c *Ctx, i int) int {
+		if i == 2 {
+			cancel()
+		}
+		return i
+	})
+	if fmt.Sprint(em.order) != "[0 1 2]" {
+		t.Fatalf("cancelled sweep delivered %v, want [0 1 2]", em.order)
 	}
 }
 

@@ -1,0 +1,59 @@
+#!/bin/sh
+# live-smoke: end-to-end gate for the live observability plane
+# (internal/serve run registry + SSE streaming).
+#
+# Starts simd, submits one slow chaos sweep asynchronously, and attaches
+# two SSE clients at different times: client A follows from the first
+# event, client B joins a second later (the server replays the run's
+# event log from the start for late attachers). Both must reconstruct
+# byte-identical artifacts whose length and SHA-256 match the run's done
+# event — ssecat verifies the digest, cmp verifies A == B.
+#
+# Then simload -attach 1.0 races an SSE follower against the synchronous
+# endpoint for every cold key, asserting streamed bytes == sync bytes,
+# and finally SIGTERM must drain attached streams and exit 0.
+set -eu
+
+ADDR=127.0.0.1:19764
+BIN=$(mktemp -d)
+trap 'kill "$SIMD_PID" 2>/dev/null; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/simd" ./cmd/simd
+go build -o "$BIN/ssecat" ./cmd/ssecat
+go build -o "$BIN/simload" ./cmd/simload
+
+"$BIN/simd" -addr "$ADDR" &
+SIMD_PID=$!
+
+JOB='{"scenario":"chaos","params":{"procs":[8,16],"ops_each":4}}'
+
+# Client A: submit and follow live from the first event.
+"$BIN/ssecat" -addr "$ADDR" -job "$JOB" > "$BIN/a.bin" &
+A_PID=$!
+
+# Client B: attach later. Re-submitting the same config lands on the same
+# deterministic run id — joining the in-flight run or hitting the cache —
+# and its stream replays the full event log.
+sleep 1
+"$BIN/ssecat" -addr "$ADDR" -job "$JOB" > "$BIN/b.bin"
+
+if ! wait "$A_PID"; then
+    echo "live-smoke: early-attach client failed" >&2
+    exit 1
+fi
+cmp "$BIN/a.bin" "$BIN/b.bin"
+echo "live-smoke: early and late attach reconstructed identical bytes"
+
+# Every cold key gets an SSE follower racing the synchronous request;
+# simload exits nonzero if any streamed artifact differs from the sync
+# response bytes.
+"$BIN/simload" -addr "$ADDR" -c 4 -n 40 -keys 6 -hot 0.8 -attach 1.0
+
+# Graceful drain: TERM must close attached streams and lead to exit 0.
+kill -TERM "$SIMD_PID"
+if ! wait "$SIMD_PID"; then
+    echo "live-smoke: simd did not drain cleanly" >&2
+    exit 1
+fi
+trap 'rm -rf "$BIN"' EXIT
+echo "live smoke OK"
