@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep serve-smoke live-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep race-shards serve-smoke live-smoke figures report scf clean
 
 all: vet test
 
@@ -33,14 +33,25 @@ bench:
 
 # CI gate for the engine: micro benches only; exits non-zero when a
 # zero-allocation invariant (kernel At/Run, network Send) regresses.
-# The second line checks a figure sweep renders byte-identically whether
-# it runs serial or across 4 sweep workers.
+# The second block checks a figure sweep renders byte-identically whether
+# it runs serial or across 4 sweep workers; the third does the same for
+# intra-run lane workers (1 shard vs 4 shards). The legacy single-queue
+# engine (-shards -1) is deliberately NOT cmp'd here: it breaks
+# same-timestamp ties by global insertion order instead of the lane
+# engine's canonical order, which can shift a mean by ~0.01 us at some
+# scales — outcome-level equivalence is pinned by
+# TestLegacyEngineEquivalence instead.
 bench-smoke:
 	$(GO) run ./cmd/simbench -smoke -out ''
 	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -parallel 1 > /tmp/fig9-p1.csv
 	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -parallel 4 > /tmp/fig9-p4.csv
 	cmp /tmp/fig9-p1.csv /tmp/fig9-p4.csv
 	@echo "parallel sweep determinism OK"
+	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -shards 1 > /tmp/fig9-s1.csv
+	$(GO) run ./cmd/armci-bench -fig 9 -quick -csv -shards 4 > /tmp/fig9-s4.csv
+	cmp /tmp/fig9-p1.csv /tmp/fig9-s1.csv
+	cmp /tmp/fig9-s1.csv /tmp/fig9-s4.csv
+	@echo "intra-run shard determinism OK"
 
 # Chaos determinism gate: the scripted-fault profile run twice with the
 # same seed must emit byte-identical tables (same event count, same final
@@ -60,6 +71,14 @@ chaos-smoke:
 # worker-count invariance under the race detector.
 race-sweep:
 	$(GO) test -race -run 'TestSweep|TestConcurrent' .
+
+# Intra-run shard race gate: the lane pool, windowed boundary, and
+# cross-lane deposit path under the race detector — shard-count
+# invariance, legacy-engine equivalence, and two sharded worlds running
+# concurrently — plus the sim package's own lane engine tests.
+race-shards:
+	$(GO) test -race -run 'TestShard|TestLegacyEngine' .
+	$(GO) test -race -run 'TestLane' ./internal/sim/
 
 # Serving-layer gate: start simd, drive it with simload (0 errors, cache
 # hits on the skewed phase, cached bytes identical to cold), then assert

@@ -41,9 +41,13 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 42, "seed for the -chaos fault plan and jitter")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"sweep worker count (1 = serial); output is byte-identical at any value")
+	shards := flag.Int("shards", 0,
+		"lane workers inside each simulation (0 = serial engine, -1 = legacy "+
+			"single-queue engine); output is byte-identical at any value")
 	flag.Parse()
 
 	bench.SetParallel(*parallel)
+	bench.SetShards(*shards)
 
 	// Ctrl-C stops scheduling new sweep points; partial grids are never
 	// rendered (the guard in render), and the process exits 130.

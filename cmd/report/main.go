@@ -34,9 +34,13 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics dump to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"sweep worker count (1 = serial); output is byte-identical at any value")
+	shards := flag.Int("shards", 0,
+		"lane workers inside each simulation (0 = serial engine, -1 = legacy "+
+			"single-queue engine); output is byte-identical at any value")
 	flag.Parse()
 
 	bench.SetParallel(*parallel)
+	bench.SetShards(*shards)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

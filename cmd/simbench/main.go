@@ -13,7 +13,10 @@
 //     simulation per op, best-of-N wall clock. The sweep_* scenarios
 //     time a whole figure sweep at GOMAXPROCS workers against its own
 //     serial run (speedup_vs_baseline = measured parallel-sweep speedup
-//     on this machine), verifying CSV byte-identity along the way.
+//     on this machine), verifying CSV byte-identity along the way. The
+//     fig9_p16384_* rows time one large simulation on the serial lane
+//     engine versus 2/4 intra-run lane workers (-shards), verifying the
+//     simulated latency is bit-identical at every shard count.
 //
 // -smoke runs only the micro benches and fails (exit 1) when a
 // zero-allocation invariant regresses; CI runs it on every push.
@@ -183,6 +186,70 @@ func sweepScenario(name string, reps map[string]result, runs int, render func() 
 		BaselineNsPerOp: serNs, Speedup: serNs / parNs, Kind: "scenario"}
 }
 
+// shardScaling times one full simulation per op at several lane worker
+// counts — shards 0 (the serial lane engine) as the baseline, then each
+// requested sharded run — and records one row per count, with the serial
+// wall clock as the sharded rows' baseline so speedup_vs_baseline is the
+// measured intra-run scaling on this machine. The simulated latency must
+// be bit-identical at every shard count (shard count is an execution
+// knob, never a result knob); any divergence is a determinism violation
+// and exits 1. Shard counts here bypass the harness's core budget so the
+// rows measure the actual requested lane worker counts on any host.
+// At this scale one run's heap is tens of GB, and allocator/page warmth
+// and GC pacing drift across successive runs would dwarf the effect
+// being measured if each config were timed in its own block — so after
+// a warm-up round over every config, the timed rounds interleave
+// (round-robin over configs), giving serial and sharded runs the same
+// heap history.
+func shardScaling(name string, reps map[string]result, runs, procs, opsEach int, shardCounts []int) {
+	if skip(name) {
+		return
+	}
+	configs := append([]int{0}, shardCounts...)
+	run := func(shards int) float64 {
+		return bench.Fig9PointSharded(procs, 16, true, false, opsEach, shards)
+	}
+	ref := run(configs[0]) // warm-up round + reference value
+	for _, s := range configs[1:] {
+		if v := run(s); v != ref {
+			fmt.Fprintf(os.Stderr,
+				"DETERMINISM VIOLATION: %s simulated latency differs between the serial engine and %d shards\n",
+				name, s)
+			os.Exit(1)
+		}
+	}
+	best := make([]time.Duration, len(configs))
+	allocs := make([]float64, len(configs))
+	var ms0, ms1 runtime.MemStats
+	for round := 0; round < runs; round++ {
+		for i, s := range configs {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			v := run(s)
+			d := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			if v != ref {
+				fmt.Fprintf(os.Stderr,
+					"DETERMINISM VIOLATION: %s latency changed between runs at %d shards\n",
+					name, s)
+				os.Exit(1)
+			}
+			if round == 0 || d < best[i] {
+				best[i] = d
+				allocs[i] = float64(ms1.Mallocs - ms0.Mallocs)
+			}
+		}
+	}
+	serNs := float64(best[0].Nanoseconds())
+	reps[name+"_serial"] = result{NsPerOp: serNs, AllocsPerOp: allocs[0], Kind: "scenario"}
+	for i, s := range shardCounts {
+		ns := float64(best[i+1].Nanoseconds())
+		reps[fmt.Sprintf("%s_shards%d", name, s)] = result{NsPerOp: ns, AllocsPerOp: allocs[i+1],
+			BaselineNsPerOp: serNs, Speedup: serNs / ns, Kind: "scenario"}
+	}
+}
+
 func finish(name, kind string, ns, allocs float64) result {
 	r := result{NsPerOp: ns, AllocsPerOp: allocs, Kind: kind}
 	if base, ok := baselineNs[name]; ok && base > 0 {
@@ -201,6 +268,8 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path (empty: stdout only)")
 	smoke := flag.Bool("smoke", false, "micro benches only; exit 1 on alloc regression")
 	onlyPat := flag.String("only", "", "run only benches matching this regexp")
+	shards := flag.Int("shards", 0, "lane workers inside each harness simulation (0 = serial lane engine, -1 = legacy single-queue engine); output is byte-identical at any value")
+	big := flag.Bool("big", false, "also run the p=65536 shard-scaling scenario (slow)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the selected benches")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the selected benches")
 	flag.Parse()
@@ -241,6 +310,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	bench.SetContext(ctx)
+	bench.SetShards(*shards)
 	interrupted := func() {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "simbench: interrupted")
@@ -367,6 +437,17 @@ func main() {
 		bench.SetParallel(0) // leave the package at its default
 
 		interrupted()
+
+		// Intra-run lane scaling at the ROADMAP's target scale: the same
+		// fig9 simulation timed on the serial lane engine and on 2/4 lane
+		// workers, with bit-identical simulated latency enforced across all
+		// of them.
+		shardScaling("fig9_p16384", reps, 2, 16384, 2, []int{2, 4})
+		if *big {
+			shardScaling("fig9_p65536", reps, 1, 65536, 2, []int{2, 4})
+		}
+
+		interrupted()
 		serveCache(reps)
 	}
 
@@ -377,7 +458,9 @@ func main() {
 		BaselineCommit: baselineCommit,
 		Note: "wall-clock cost of simulating (engine hot paths), written by `make bench`; " +
 			"ns figures are machine-dependent, allocs/op are not; sweep_* benches measure " +
-			"the parallel sweep engine against its own serial run on this machine",
+			"the parallel sweep engine against its own serial run on this machine; " +
+			"fig9_p16384_shards* rows measure intra-run lane workers against the serial " +
+			"lane engine on this machine (cores available: GOMAXPROCS at run time)",
 		Benches: reps,
 	}
 

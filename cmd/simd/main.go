@@ -40,6 +40,9 @@ func main() {
 	queue := flag.Int("queue", 16, "jobs in system before submissions get 429")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget, MiB")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep workers (0 = GOMAXPROCS/workers)")
+	shards := flag.Int("shards", 0,
+		"lane workers inside each simulation (execution knob only: never part "+
+			"of a job's cache identity)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	logRequests := flag.Bool("log", false, "log one structured line per request to stderr")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
@@ -51,6 +54,7 @@ func main() {
 		QueueDepth:   *queue,
 		CacheBytes:   *cacheMB << 20,
 		SweepWorkers: *sweepWorkers,
+		Shards:       *shards,
 	}
 	if *logRequests {
 		opts.AccessLog = os.Stderr

@@ -33,10 +33,19 @@ type determinismGolden struct {
 // accumulate, fences, barriers, loopback (same-node peers at c=4), and a
 // live observability registry (traced link reservations).
 func goldenScenario() (events uint64, final sim.Time) {
+	w := goldenScenarioSharded(0, obs.New(obs.WithTrackCap(256)))
+	return w.K.EventsFired(), w.K.Now()
+}
+
+// goldenScenarioSharded is the golden workload with an explicit lane
+// worker count (armci.Config.Shards) and registry — the knobs the
+// shard-invariance and engine-equivalence tests sweep. The returned
+// world is finished; callers read its kernel and aggregates.
+func goldenScenarioSharded(shards int, reg *obs.Registry) *armci.World {
 	const procs = 24
 	cfg := armci.Config{
 		Procs: procs, ProcsPerNode: 4, AsyncThread: true,
-		Seed: 7, Obs: obs.New(obs.WithTrackCap(256)),
+		Seed: 7, Obs: reg, Shards: shards,
 	}
 	w := armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, 4096)
@@ -51,7 +60,7 @@ func goldenScenario() (events uint64, final sim.Time) {
 		rt.Fence(th, peer)
 		rt.Barrier(th)
 	})
-	return w.K.EventsFired(), w.K.Now()
+	return w
 }
 
 func csvHash(g *bench.Grid) string {

@@ -73,6 +73,20 @@ type Config struct {
 	TypedThreshold int
 	// Params overrides the machine model (nil uses the calibrated BG/Q).
 	Params *network.Params
+	// Shards controls the intra-run parallel kernel. The simulation is
+	// always partitioned into one lane per node (fixed by the topology,
+	// so simulated behavior is identical at every setting ≥ 0); Shards
+	// only sets how many worker goroutines execute lane windows:
+	//
+	//	 0  lane-partitioned engine, 1 worker (the default);
+	//	 N  lane-partitioned engine, min(N, nodes) workers;
+	//	-1  the legacy single-queue engine (no lanes), kept as an
+	//	    escape hatch and as the reference for equivalence tests.
+	//
+	// Worker count can never change a simulated byte — only wall-clock
+	// time. The legacy engine orders some concurrent events differently
+	// (see DESIGN.md), so -1 is not byte-identical to the laned engine.
+	Shards int
 	// Seed perturbs the deterministic jitter streams.
 	Seed uint64
 	// Fault, when non-nil, installs deterministic fault injection on the
@@ -135,6 +149,16 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Params == nil {
 		c.Params = network.DefaultParams()
 	}
+	if c.Shards < -1 {
+		return c, fmt.Errorf("armci: Config.Shards must be >= -1, got %d", c.Shards)
+	}
+	if c.Shards >= 0 && c.Params != nil && c.Params.BarrierLatency < c.Params.Lookahead() {
+		// The lane engine's barrier deposits its release at max(arrival)+
+		// BarrierLatency; horizons only guarantee that time is in every
+		// lane's future when the latency is at least the lookahead.
+		return c, fmt.Errorf("armci: BarrierLatency (%d) below the network lookahead (%d); use Shards=-1 for the single-queue engine",
+			c.Params.BarrierLatency, c.Params.Lookahead())
+	}
 	if c.Params.AdaptiveRouting {
 		// The fence protocol chases prior traffic with an ordered control
 		// message, which only works under deterministic routing's
@@ -171,13 +195,15 @@ type World struct {
 	// harnesses read its counters after Run.
 	Faults *fault.Injector
 
-	// collective state
+	// Collective state. barCount/barMax are only ever touched from
+	// serial context (window-boundary appliers, or inline on a
+	// single-queue kernel); the exchange buffers are written at disjoint
+	// rank indexes with barriers separating writes from remote reads.
 	barCount int
-	barGen   uint64
+	barMax   sim.Time
 	xchAddr  []mem.Addr
 	xchReg   []bool
 	xchF64   []float64
-	done     int
 }
 
 // NewWorld builds the machine and empty runtime slots, returning an error
@@ -193,6 +219,16 @@ func NewWorld(k *sim.Kernel, cfg Config) (*World, error) {
 	if cfg.Obs != nil {
 		k.SetObs(cfg.Obs)
 		m.SetObs(cfg.Obs)
+	}
+	if cfg.Shards >= 0 {
+		// One lane per node, fixed by the topology; Shards only picks the
+		// worker count, so results are invariant across shard settings.
+		workers := cfg.Shards
+		if workers < 1 {
+			workers = 1
+		}
+		k.ConfigureLanes(tor.Nodes(), workers, cfg.Params.Lookahead())
+		m.SetLanes(k.Lanes())
 	}
 	w := &World{
 		K:        k,
@@ -222,9 +258,11 @@ func (w *World) faulty() bool { return w.Faults != nil }
 // Start spawns one main thread per rank. Each creates its PAMI state,
 // synchronizes, runs body, then participates in a collective finalize.
 func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
+	tor := w.M.Net.Torus()
 	for rank := 0; rank < w.Cfg.Procs; rank++ {
 		rank := rank
-		t := w.K.Spawn(fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
+		ln := w.M.LaneFor(tor.NodeOf(rank))
+		t := w.K.SpawnOn(ln, fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
 			rt := newRuntime(w, th, rank)
 			w.Runtimes[rank] = rt
 			rt.Barrier(th) // all clients exist before any traffic
@@ -247,7 +285,9 @@ func Run(cfg Config, body func(th *sim.Thread, rt *Runtime)) (*World, error) {
 		return nil, err
 	}
 	w.Start(body)
-	if err := k.Run(); err != nil {
+	err = k.Run()
+	w.M.Net.FoldLaneStats()
+	if err != nil {
 		return w, err
 	}
 	w.recycle(w.Cfg.Pool)
@@ -336,6 +376,12 @@ type Runtime struct {
 	progress *sim.Thread
 	rng      *sim.RNG
 
+	// Barrier bookkeeping: barGen counts barriers this rank has entered,
+	// barRelease the releases delivered to it. Both are lane-local — the
+	// release event is deposited into this rank's own lane.
+	barGen     uint64
+	barRelease uint64
+
 	obsOps  *opObs // nil when Config.Obs is nil
 	trackID string // this rank's trace track id ("rank-NNNN")
 
@@ -373,7 +419,7 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		mutexes: make(map[int]*muState),
 		Stats:   sim.NewCounters(),
 		rng:     sim.NewRNG(w.Cfg.Seed ^ (uint64(rank)*0x5851f42d + 7)),
-		obsOps:  newOpObs(w.Cfg.Obs),
+		obsOps:  newOpObs(c.Obs),
 		trackID: fmt.Sprintf("rank-%04d", rank),
 	}
 	rt.cons = newConsistency(rt, w.Cfg.Consistency)
@@ -383,13 +429,13 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 			rt.retry = DefaultRetryPolicy()
 		}
 		rt.suspectUntil = make([]sim.Time, w.Cfg.Procs)
-		rt.ftObs = newFtObs(w.Cfg.Obs)
+		rt.ftObs = newFtObs(c.Obs)
 	}
 	rt.installHandlers()
 
 	if w.Cfg.AsyncThread {
 		svc := rt.svcCtx
-		rt.progress = w.K.Spawn(fmt.Sprintf("async-%04d", rank), func(pt *sim.Thread) {
+		rt.progress = w.K.SpawnOn(c.Ln, fmt.Sprintf("async-%04d", rank), func(pt *sim.Thread) {
 			svc.ProgressLoop(pt)
 		})
 		rt.progress.SetObsTrack(obs.TrackProgress)
@@ -463,8 +509,8 @@ func (rt *Runtime) faulty() bool { return rt.W.Faults != nil }
 // up with the thread/link timelines in Perfetto. The legacy trace.Recorder
 // shim this used to feed is gone; obs is the one tracing API.
 func (rt *Runtime) tr(cat, what string, arg int64) {
-	if r := rt.W.Cfg.Obs; r != nil {
-		r.InstantArg(obs.TrackRank, rt.trackID, what, cat, rt.W.K.Now(), arg)
+	if r := rt.C.Obs; r != nil {
+		r.InstantArg(obs.TrackRank, rt.trackID, what, cat, rt.C.Ln.Now(), arg)
 	}
 }
 
@@ -476,20 +522,16 @@ func (rt *Runtime) newPend() (int64, *pendReq) {
 	return rt.pendSeq, p
 }
 
-// finalize drains outstanding work and synchronizes before teardown; the
-// last rank to arrive stops every progress thread.
+// finalize drains outstanding work and synchronizes before teardown.
+// After the closing barrier no rank issues further traffic, so each rank
+// stops its own progress threads — self-contained per lane, which is
+// what lets teardown run inside parallel lane windows.
 func (rt *Runtime) finalize(th *sim.Thread) {
 	rt.WaitAll(th)
 	rt.AllFence(th)
 	rt.Barrier(th)
-	rt.publishStats(rt.W.Cfg.Obs)
-	w := rt.W
-	w.done++
-	if w.done == w.Cfg.Procs {
-		for _, r := range w.Runtimes {
-			for _, x := range r.C.Contexts {
-				x.StopProgressLoop()
-			}
-		}
+	rt.publishStats(rt.C.Obs)
+	for _, x := range rt.C.Contexts {
+		x.StopProgressLoop()
 	}
 }

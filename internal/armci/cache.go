@@ -80,12 +80,12 @@ func (rc *regionCache) insertExchange(self int, addrs []mem.Addr, registered []b
 		}
 	}
 	if rc.total+n > rc.cap {
-		// Evictions interleave with inserts; take the generic path.
-		for r := range addrs {
-			if registered[r] && r != self {
-				rc.insert(r, addrs[r], size)
-			}
-		}
+		// Evictions interleave with inserts; replay insert()'s
+		// evict-then-append loop through a heap instead of per-insert
+		// O(entries) victim scans. The naive loop is O(n·(p+cap)) —
+		// the setup cliff that made p=8192 worlds ~250x slower than
+		// p=4096 ones (where the whole exchange fits under cap).
+		rc.insertExchangeEvicting(self, addrs, registered, size)
 		return
 	}
 	arena := make([]remoteRegion, n)
@@ -103,6 +103,127 @@ func (rc *regionCache) insertExchange(self int, addrs []mem.Addr, registered []b
 		i++
 	}
 	rc.total += n
+}
+
+// exchItem is one cache entry's standing in the batch-eviction replay:
+// an original entry (inRank = -1) at byRank[rank][slot], or the pending
+// incoming entry for rank (inRank = rank, ordered after that bucket's
+// originals, where append would have placed it).
+type exchItem struct {
+	freq   uint64
+	rank   int
+	base   mem.Addr
+	slot   int
+	inRank int
+}
+
+// exchLess is evictLFU's victim priority: least frequent first, ties on
+// (rank, base), then bucket position (first encountered by the scan).
+func exchLess(a, b *exchItem) bool {
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	if a.base != b.base {
+		return a.base < b.base
+	}
+	return a.slot < b.slot
+}
+
+func exchSiftUp(h []exchItem, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !exchLess(&h[i], &h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func exchSiftDown(h []exchItem, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && exchLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !exchLess(&h[m], &h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// insertExchangeEvicting is the over-capacity exchange path: exactly the
+// victims and survivors of calling insert(r, addrs[r], size) for every
+// registered peer in rank order, computed in O(entries + n·log cap + p)
+// instead of a per-insert scan of every bucket. All entries — originals
+// and already-inserted incoming ones — sit in one min-heap keyed by the
+// eviction priority; each over-capacity insert pops the victim the naive
+// scan would have picked (freqs never change during the replay, so the
+// heap is never stale). Evicted originals are marked in place with a
+// size of -1 and compacted afterwards, preserving bucket order; a
+// surviving incoming entry appends after its bucket's surviving
+// originals, exactly where the naive append would have left it.
+func (rc *regionCache) insertExchangeEvicting(self int, addrs []mem.Addr, registered []bool, size int) {
+	h := make([]exchItem, 0, rc.total+1)
+	for rank := range rc.byRank {
+		b := rc.byRank[rank]
+		for i := range b {
+			h = append(h, exchItem{freq: b[i].freq, rank: b[i].rank, base: b[i].base, slot: i, inRank: -1})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		exchSiftDown(h, i)
+	}
+
+	incomingDead := make([]bool, len(addrs))
+	cur := rc.total
+	pops := 0
+	for r := range addrs {
+		if !registered[r] || r == self {
+			continue
+		}
+		if cur >= rc.cap && len(h) > 0 {
+			v := h[0]
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			exchSiftDown(h, 0)
+			if v.inRank >= 0 {
+				incomingDead[v.inRank] = true
+			} else {
+				rc.byRank[v.rank][v.slot].size = -1 // compacted below
+			}
+			pops++
+			cur--
+		}
+		h = append(h, exchItem{freq: 1, rank: r, base: addrs[r], slot: 1 << 30, inRank: r})
+		exchSiftUp(h, len(h)-1)
+		cur++
+	}
+
+	for rank := range rc.byRank {
+		b := rc.byRank[rank]
+		keep := b[:0]
+		for i := range b {
+			if b[i].size >= 0 {
+				keep = append(keep, b[i])
+			}
+		}
+		if registered[rank] && rank != self && !incomingDead[rank] {
+			keep = append(keep, remoteRegion{rank: rank, base: addrs[rank], size: size, freq: 1})
+		}
+		rc.byRank[rank] = keep
+	}
+	rc.total = cur
+	rc.Evicted += uint64(pops)
 }
 
 // evictLFU removes the least frequently used entry, breaking ties on

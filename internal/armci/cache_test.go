@@ -113,3 +113,60 @@ func TestInsertExchangePartialRegistration(t *testing.T) {
 		t.Error("exchanged entry missing from pre-populated bucket")
 	}
 }
+
+// TestInsertExchangeEvictingEquivalence pins the batch-eviction replay
+// against the loop it replaces: an over-capacity exchange through
+// insertExchange must leave the cache in exactly the state that calling
+// insert() per registered peer in rank order would have — same entries,
+// same bucket order, same freqs, same eviction count — including from a
+// pre-populated cache with mixed frequencies.
+func TestInsertExchangeEvictingEquivalence(t *testing.T) {
+	const procs = 97
+	const cap = 24
+	addrs := make([]mem.Addr, procs)
+	registered := make([]bool, procs)
+	for r := range addrs {
+		addrs[r] = mem.Addr(0x10000 + r*0x200)
+		registered[r] = r%5 != 3 // a few unregistered peers
+	}
+
+	// Two caches with identical non-trivial initial states: partial
+	// prior contents whose freqs vary (some will out-rank the incoming
+	// freq-1 entries and survive, some won't).
+	seed := func() *regionCache {
+		rc := newRegionCache(cap, procs)
+		for i := 0; i < 10; i++ {
+			rank := (i*7 + 2) % procs
+			rc.insert(rank, mem.Addr(0x9000+i*0x40), 0x20)
+			for b := 0; b < i%4; b++ {
+				rc.lookup(rank, mem.Addr(0x9000+i*0x40), 0x20) // freq bump
+			}
+		}
+		return rc
+	}
+
+	fast, naive := seed(), seed()
+	fast.insertExchange(2, addrs, registered, 0x80)
+	for r := range addrs {
+		if registered[r] && r != 2 {
+			naive.insert(r, addrs[r], 0x80)
+		}
+	}
+
+	if fast.total != naive.total || fast.Evicted != naive.Evicted {
+		t.Fatalf("totals diverged: fast (total %d, evicted %d), naive (total %d, evicted %d)",
+			fast.total, fast.Evicted, naive.total, naive.Evicted)
+	}
+	for rank := range naive.byRank {
+		fb, nb := fast.byRank[rank], naive.byRank[rank]
+		if len(fb) != len(nb) {
+			t.Errorf("rank %d bucket length: fast %d, naive %d", rank, len(fb), len(nb))
+			continue
+		}
+		for i := range nb {
+			if fb[i] != nb[i] {
+				t.Errorf("rank %d slot %d: fast %+v, naive %+v", rank, i, fb[i], nb[i])
+			}
+		}
+	}
+}

@@ -35,32 +35,51 @@ type Allocation struct {
 // At returns the block on the given rank.
 func (a *Allocation) At(rank int) GlobalPtr { return a.Ptrs[rank] }
 
-// Barrier synchronizes all ranks. Unlike a plain barrier, the waiting
-// thread keeps driving its progress engine, so remote requests are still
-// serviced while blocked — exactly what ARMCI_Barrier does and what the
-// default-mode NWChem runs rely on.
+// Barrier synchronizes all ranks over the hardware combining network:
+// every rank is released at max over ranks of (arrival + BarrierLatency).
+// Unlike a plain barrier, the waiting thread keeps driving its progress
+// engine, so remote requests are still serviced while blocked — exactly
+// what ARMCI_Barrier does and what the default-mode NWChem runs rely on.
+//
+// The rendezvous is engine-agnostic: each arrival is a deferred
+// operation, applied in canonical order at a window boundary on a
+// lane-partitioned kernel (inline on a single-queue one), and the
+// release is deposited into every rank's own lane. The arrival's
+// minEffect (now + BarrierLatency) caps the arriving lane's window, and
+// BarrierLatency ≥ the network lookahead (enforced by withDefaults)
+// guarantees the release time is in every other lane's future.
 func (rt *Runtime) Barrier(th *sim.Thread) {
 	w := rt.W
-	if w.Cfg.Params.BarrierLatency > 0 {
-		th.Sleep(w.Cfg.Params.BarrierLatency)
+	gen := rt.barGen
+	rt.barGen++
+	eff := th.Now() + w.Cfg.Params.BarrierLatency
+	th.Lane().Defer(eff, func(sim.Time) { w.barrierArrive(eff) })
+	rt.mainCtx.WaitCond(th, func() bool { return rt.barRelease > gen })
+}
+
+// barrierArrive runs in serial context (boundary applier, or inline on a
+// single-queue kernel). It accumulates the release time and, on the last
+// arrival, deposits one release event into each rank's lane.
+func (w *World) barrierArrive(eff sim.Time) {
+	if eff > w.barMax {
+		w.barMax = eff
 	}
-	gen := w.barGen
 	w.barCount++
-	if w.barCount == w.Cfg.Procs {
-		w.barCount = 0
-		w.barGen++
-		// Nudge every rank's contexts so parked waiters re-check.
-		for _, r := range w.Runtimes {
-			if r == nil {
-				continue
-			}
-			for _, x := range r.C.Contexts {
-				x.Nudge()
-			}
-		}
+	if w.barCount < w.Cfg.Procs {
 		return
 	}
-	rt.mainCtx.WaitCond(th, func() bool { return w.barGen != gen })
+	release := w.barMax
+	w.barCount, w.barMax = 0, 0
+	for _, r := range w.Runtimes {
+		rt := r
+		rt.C.Ln.ScheduleAbs(release, func() {
+			rt.barRelease++
+			// Nudge the rank's contexts so parked waiters re-check.
+			for _, x := range rt.C.Contexts {
+				x.Nudge()
+			}
+		})
+	}
 }
 
 // Malloc collectively allocates bytes on every rank, registers the block

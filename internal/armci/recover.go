@@ -166,7 +166,7 @@ func (f *ftObs) recovered(d sim.Time) {
 
 // rdmaSuspect reports whether rank's RDMA path is inside a suspect window.
 func (rt *Runtime) rdmaSuspect(rank int) bool {
-	return rt.suspectUntil != nil && rt.W.K.Now() < rt.suspectUntil[rank]
+	return rt.suspectUntil != nil && rt.C.Ln.Now() < rt.suspectUntil[rank]
 }
 
 // markSuspect degrades rank's RDMA path: cached region descriptors are
@@ -178,7 +178,7 @@ func (rt *Runtime) markSuspect(rank int) {
 	if rt.suspectUntil == nil {
 		return
 	}
-	rt.suspectUntil[rank] = rt.W.K.Now() + rt.retry.SuspectWindow
+	rt.suspectUntil[rank] = rt.C.Ln.Now() + rt.retry.SuspectWindow
 	rt.regions.purgeRank(rank)
 	rt.Stats.Inc("rdma.suspect", 1)
 	rt.ftObs.suspect()

@@ -51,10 +51,13 @@ func ablationContextsPoint(c *sweep.Ctx, nCtx, opsEach int) (pt struct {
 	cfg := c.Cfg(armci.Config{Procs: 3, ProcsPerNode: 1, AsyncThread: true, Contexts: nCtx})
 	lat := sim.NewSeries(false)
 	var contended uint64
-	var done bool
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		a := rt.Malloc(th, accBytes)
 		b := rt.Malloc(th, 4096)
+		// Stop flag for the flooder, hosted in rank 2's own memory so the
+		// signal rides the simulation (lane-clean under Config.Shards)
+		// instead of a host variable shared across rank threads.
+		stop := b.At(2)
 		switch rt.Rank {
 		case 0:
 			local := rt.LocalAlloc(th, 4096)
@@ -65,7 +68,7 @@ func ablationContextsPoint(c *sweep.Ctx, nCtx, opsEach int) (pt struct {
 				rt.Get(th, b.At(1), local, 1024)
 				lat.AddTime(th.Now() - t0)
 			}
-			done = true
+			rt.FetchAdd(th, stop, 1)
 			for _, x := range rt.C.Contexts {
 				contended += x.Lock.Contended
 			}
@@ -73,7 +76,7 @@ func ablationContextsPoint(c *sweep.Ctx, nCtx, opsEach int) (pt struct {
 			// Paced accumulate flood: ~80% duty cycle on rank 0's
 			// service context, without unbounded queue growth.
 			local := rt.LocalAlloc(th, accBytes)
-			for !done {
+			for rt.Space().GetInt64(stop.Addr) == 0 {
 				rt.NbAcc(th, local, a.At(0), accBytes, 1.0)
 				th.Sleep(20 * sim.Microsecond)
 			}
@@ -120,12 +123,15 @@ func hardwareAMOPoint(c *sweep.Ctx, procs, opsEach int) float64 {
 	params := network.DefaultParams()
 	params.HardwareAMO = true
 	cfg := c.Cfg(armci.Config{Procs: procs, ProcsPerNode: 1, Params: params})
-	var doneWorkers int
-	lat := sim.NewSeries(false)
+	// Completion signalling and latency collection follow fig9Point's
+	// lane-clean layout: a simulated done tally on rank 0 (NIC-executed
+	// here, so rank 0 needs no progress calls) and per-rank latency slots.
+	latSum := make([]sim.Time, procs)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
-		a := rt.Malloc(th, 8)
+		a := rt.Malloc(th, 16)
+		done := a.At(0).Add(8)
 		if rt.Rank == 0 {
-			for doneWorkers < procs-1 {
+			for rt.Space().GetInt64(done.Addr) < int64(procs-1) {
 				th.Sleep(300 * sim.Microsecond) // computing; no progress needed
 			}
 			return
@@ -133,11 +139,15 @@ func hardwareAMOPoint(c *sweep.Ctx, procs, opsEach int) float64 {
 		for i := 0; i < opsEach; i++ {
 			t0 := th.Now()
 			rt.FetchAdd(th, a.At(0), 1)
-			lat.AddTime(th.Now() - t0)
+			latSum[rt.Rank] += th.Now() - t0
 		}
-		doneWorkers++
+		rt.FetchAdd(th, done, 1)
 	})
-	return lat.Mean()
+	var total sim.Time
+	for _, s := range latSum {
+		total += s
+	}
+	return sim.ToMicros(total) / float64((procs-1)*opsEach)
 }
 
 // AblationStridedProtocol quantifies §III.C.2's protocol choice: a

@@ -30,16 +30,33 @@ func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
 	})
 }
 
+// Fig9PointSharded is Fig9Point with an explicit lane worker count,
+// bypassing the harness's core budget: the simbench core-scaling rows
+// measure the actual requested shard counts whatever the host's core
+// count, and the invariance tests sweep shard counts on any machine.
+func Fig9PointSharded(procs, perNode int, async, compute bool, opsEach, shardCount int) float64 {
+	return one(func(c *sweep.Ctx) float64 {
+		forced := *c
+		forced.Shards = shardCount
+		return fig9Point(&forced, procs, perNode, async, compute, opsEach)
+	})
+}
+
 // fig9Point is one independent simulation: one (procs, placement, mode)
-// sweep point, safe to run concurrently with its siblings.
+// sweep point, safe to run concurrently with its siblings. Worker
+// completion is signalled through a second simulated counter on rank 0
+// (not host memory), and latencies accumulate into per-rank slots, so
+// the closure stays race-free and deterministic when the world's ranks
+// execute on parallel lanes (Config.Shards > 1).
 func fig9Point(c *sweep.Ctx, procs, perNode int, async, compute bool, opsEach int) float64 {
 	cfg := c.Cfg(armci.Config{Procs: procs, ProcsPerNode: perNode, AsyncThread: async})
-	var doneWorkers int
-	lat := sim.NewSeries(false)
+	latSum := make([]sim.Time, procs)
 	armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
-		a := rt.Malloc(th, 8)
+		// Rank-0 layout: the hammered counter, then the done tally.
+		a := rt.Malloc(th, 16)
+		done := a.At(0).Add(8)
 		if rt.Rank == 0 {
-			for doneWorkers < procs-1 {
+			for rt.Space().GetInt64(done.Addr) < int64(procs-1) {
 				if compute {
 					th.Sleep(300 * sim.Microsecond)
 				} else {
@@ -54,11 +71,15 @@ func fig9Point(c *sweep.Ctx, procs, perNode int, async, compute bool, opsEach in
 		for i := 0; i < opsEach; i++ {
 			t0 := th.Now()
 			rt.FetchAdd(th, a.At(0), 1)
-			lat.AddTime(th.Now() - t0)
+			latSum[rt.Rank] += th.Now() - t0
 		}
-		doneWorkers++
+		rt.FetchAdd(th, done, 1)
 	})
-	return lat.Mean()
+	var total sim.Time
+	for _, s := range latSum {
+		total += s
+	}
+	return sim.ToMicros(total) / float64((procs-1)*opsEach)
 }
 
 // fig9Variants is the figure's column order: {default, async-thread} x

@@ -84,6 +84,18 @@ func ChaosRun(procs, perNode, opsEach int, seed uint64) ChaosResult {
 	})
 }
 
+// ChaosRunSharded is ChaosRun with an explicit lane worker count,
+// bypassing the harness's core budget: the invariance tests sweep shard
+// counts regardless of how many cores the host exposes (extra lane
+// workers just multiplex, which is exactly what -race needs to see).
+func ChaosRunSharded(procs, perNode, opsEach int, seed uint64, shardCount int) ChaosResult {
+	return one(func(c *sweep.Ctx) ChaosResult {
+		forced := *c
+		forced.Shards = shardCount
+		return chaosRun(&forced, procs, perNode, opsEach, seed)
+	})
+}
+
 // chaosRun is one independent chaos simulation (one sweep point).
 func chaosRun(c *sweep.Ctx, procs, perNode, opsEach int, seed uint64) ChaosResult {
 	cfg := c.Cfg(armci.Config{
@@ -98,7 +110,13 @@ func chaosRun(c *sweep.Ctx, procs, perNode, opsEach int, seed uint64) ChaosResul
 		Ops:     int64(procs-1) * int64(opsEach),
 		AccWant: float64(procs-1) * float64(opsEach),
 	}
-	var doneWorkers int
+	// Per-rank error tallies, folded after the run: worker threads may
+	// execute on parallel lanes (Config.Shards > 1), so they must not
+	// share mutable host state. Rank 0 learns the workers are done from
+	// the barrier itself — the blocking API means a worker reaching the
+	// barrier has retired (or given up on) every one of its ops.
+	opErrors := make([]int, procs)
+	badBlocks := make([]int, procs)
 	w := armci.MustRun(cfg, func(th *sim.Thread, rt *armci.Runtime) {
 		// Rank-0 layout: counter, float sum, then one pattern slot per rank.
 		a := rt.Malloc(th, 16+procs*chaosBlock)
@@ -107,9 +125,6 @@ func chaosRun(c *sweep.Ctx, procs, perNode, opsEach int, seed uint64) ChaosResul
 		slot := a.At(0).Add(16 + rt.Rank*chaosBlock)
 
 		if rt.Rank == 0 {
-			for doneWorkers < procs-1 {
-				th.Sleep(sim.Microsecond)
-			}
 			rt.Barrier(th)
 			res.Counter = rt.Space().GetInt64(counter.Addr)
 			res.AccSum = rt.Space().GetFloat64(sum.Addr)
@@ -127,30 +142,33 @@ func chaosRun(c *sweep.Ctx, procs, perNode, opsEach int, seed uint64) ChaosResul
 		buf := make([]byte, chaosBlock)
 		for i := 0; i < opsEach; i++ {
 			if _, err := rt.FetchAddErr(th, counter, 1); err != nil {
-				res.OpErrors++
+				opErrors[rt.Rank]++
 			}
 			for j := range buf {
 				buf[j] = byte(rt.Rank*31 + i*7 + j)
 			}
 			rt.Space().CopyIn(pattern, buf)
 			if err := rt.PutErr(th, pattern, slot, chaosBlock); err != nil {
-				res.OpErrors++
+				opErrors[rt.Rank]++
 			}
 			if err := rt.GetErr(th, slot, scratch, chaosBlock); err != nil {
-				res.OpErrors++
+				opErrors[rt.Rank]++
 			} else if !bytes.Equal(rt.Space().Bytes(scratch, chaosBlock), buf) {
-				res.BadBlocks++
+				badBlocks[rt.Rank]++
 			}
 			if err := rt.AccErr(th, one, sum, 8, 1.0); err != nil {
-				res.OpErrors++
+				opErrors[rt.Rank]++
 			}
 			// Space the iterations out so the workload straddles the
 			// scripted fault windows instead of finishing before them.
 			th.Sleep(100 * sim.Microsecond)
 		}
-		doneWorkers++
 		rt.Barrier(th)
 	})
+	for r := 0; r < procs; r++ {
+		res.OpErrors += opErrors[r]
+		res.BadBlocks += badBlocks[r]
+	}
 
 	for _, s := range w.AggregateStatsSorted() {
 		switch s.Name {

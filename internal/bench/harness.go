@@ -21,6 +21,7 @@ var (
 	mu      sync.Mutex
 	parent  *obs.Registry
 	workers int // <= 0 selects GOMAXPROCS
+	shards  int // per-run lane workers; 0 default, -1 legacy engine
 	eng     *sweep.Engine
 	runCtx  context.Context = context.Background()
 )
@@ -42,6 +43,20 @@ func SetParallel(n int) {
 	mu.Lock()
 	defer mu.Unlock()
 	workers = n
+	eng = nil
+}
+
+// SetShards sets the intra-run shard budget for subsequent benchmark
+// sweeps: every simulation executes on that many parallel lane workers
+// (armci.Config.Shards; 0 restores the default single-worker lane
+// engine, -1 selects the legacy single-queue engine). The engine
+// resolves (workers, shards) through sweep.CoreBudget, so combined
+// parallelism never oversubscribes the machine. Shard count is purely an
+// execution knob — rendered bytes are identical at every setting.
+func SetShards(n int) {
+	mu.Lock()
+	defer mu.Unlock()
+	shards = n
 	eng = nil
 }
 
@@ -67,7 +82,7 @@ func setup() (context.Context, *sweep.Engine) {
 	mu.Lock()
 	defer mu.Unlock()
 	if eng == nil {
-		eng = sweep.New(workers, parent)
+		eng = sweep.NewSharded(workers, shards, parent)
 	}
 	return runCtx, eng
 }

@@ -37,6 +37,13 @@ type Network struct {
 	// healthy hot path pays exactly one nil check.
 	flt *fault.Injector
 
+	// lanes, when non-nil, switches the network into lane-partitioned
+	// mode: one sim.Lane per node, fault-free same-node loopbacks handled
+	// inline in the source lane, and everything else logged as a deferred
+	// operation applied at the window boundary. See lanes.go.
+	lanes   []*sim.Lane
+	laneNet []laneNetStats
+
 	// Stats. HopsTotal counts a loopback (same-node) transfer as one hop
 	// — the local MU traversal it pays in the latency model — for both
 	// Send and SendNIC, so `network/hops` is consistent across all
@@ -168,12 +175,61 @@ func (nw *Network) Params() *Params { return nw.params }
 // one hop, matching the observation that ARMCI on BG/Q routes intra-node
 // transfers through the torus injection path.
 func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) {
-	if nw.flt != nil {
-		nw.sendFaulty(srcNode, dstNode, payload, kind, fn)
+	if nw.lanes != nil {
+		nw.sendLaned(srcNode, dstNode, payload, kind, fn, nil)
 		return
 	}
-	p := nw.params
 	now := nw.k.Now()
+	if nw.flt != nil {
+		nw.sendFaultyAt(now, srcNode, dstNode, payload, kind, fn, nil)
+		return
+	}
+	arrival, hops := nw.transit(now, srcNode, dstNode, payload, kind)
+	nw.noteSend(payload, hops)
+	nw.k.At(arrival-now, fn)
+}
+
+// SendWithLocal is Send with a second completion: deliver fires at the
+// destination when the message arrives, and local fires at the source at
+// the same instant (the initiator-side completion of an acknowledged
+// operation whose protocol piggybacks both on one traversal). Under
+// faults the two share the message's fate — a drop fires neither, a
+// duplicate fires both per surviving copy. The split callback exists for
+// the lane-partitioned engine, where the two completions land in
+// different lanes; single-queue kernels run them back to back.
+func (nw *Network) SendWithLocal(srcNode, dstNode, payload int, kind MsgKind, deliver, local func()) {
+	if nw.lanes != nil {
+		nw.sendLaned(srcNode, dstNode, payload, kind, deliver, local)
+		return
+	}
+	now := nw.k.Now()
+	if nw.flt != nil {
+		nw.sendFaultyAt(now, srcNode, dstNode, payload, kind, deliver, local)
+		return
+	}
+	arrival, hops := nw.transit(now, srcNode, dstNode, payload, kind)
+	nw.noteSend(payload, hops)
+	nw.schedule(now, arrival, deliver, local)
+}
+
+// schedule fires the single-queue completions for a message arriving at
+// arrival (legacy path only; the laned path deposits into lanes).
+func (nw *Network) schedule(now, arrival sim.Time, deliver, local func()) {
+	if local == nil {
+		nw.k.At(arrival-now, deliver)
+		return
+	}
+	nw.k.At(arrival-now, func() { deliver(); local() })
+}
+
+// transit books the injection MU and the route for one fault-free
+// message injected at time now and returns its (tail arrival, hops).
+// Shared by the legacy single-queue path (now = the kernel clock) and
+// the lane boundary appliers (now = the lane time the send was logged
+// at); the shared state it touches — nicFree, linkFree, link
+// observability — is mutated serially in both cases.
+func (nw *Network) transit(now sim.Time, srcNode, dstNode, payload int, kind MsgKind) (sim.Time, int) {
+	p := nw.params
 	ser := p.SerTime(payload)
 
 	// Injection MU: per-message occupancy rate-limits streams. Loopback
@@ -196,40 +252,33 @@ func (nw *Network) Send(srcNode, dstNode, payload int, kind MsgKind, fn func()) 
 	if kind == Data && payload > 0 && payload < p.UnalignedThreshold {
 		head += p.UnalignedPenalty
 	}
-	var arrival sim.Time
-	var hops int
 	if p.AdaptiveRouting && srcNode != dstNode {
-		arrival = nw.traverseAdaptive(srcNode, dstNode, head, ser)
-		hops = nw.torus.RouteHops(srcNode, dstNode) // adaptive routes are minimal too
-	} else {
-		route := nw.torus.Route(srcNode, dstNode) // cached, shared: read-only
-		if len(route) == 0 {
-			// Loopback through the local router: one hop equivalent.
-			head += p.HopLatency
-			hops = 1
-		}
-		for _, l := range route {
-			head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
-		}
-		hops += len(route)
-		arrival = head + ser
+		// Adaptive routes are minimal too, so the hop count is the same.
+		return nw.traverseAdaptive(srcNode, dstNode, head, ser), nw.torus.RouteHops(srcNode, dstNode)
 	}
-
-	nw.noteSend(payload, hops)
-
-	nw.k.At(arrival-now, fn)
+	route := nw.torus.Route(srcNode, dstNode) // cached, shared: read-only
+	hops := len(route)
+	if hops == 0 {
+		// Loopback through the local router: one hop equivalent.
+		head += p.HopLatency
+		hops = 1
+	}
+	for _, l := range route {
+		head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
+	}
+	return head + ser, hops
 }
 
-// sendFaulty is Send with the installed injector consulted at every
+// sendFaultyAt is Send with the installed injector consulted at every
 // stage: the message verdict (dead endpoints, probabilistic delay and
 // duplication) at injection, and per-link state (outage, degradation) at
-// each traversal. A dropped message vanishes — fn is never scheduled —
-// which is exactly the failure the upper layers' timeouts must detect. A
-// duplicated message traverses twice, so the copy pays its own link
-// reservations and arrives later; deduplication is the receiver's
-// problem, as on a real at-least-once transport.
-func (nw *Network) sendFaulty(srcNode, dstNode, payload int, kind MsgKind, fn func()) {
-	v := nw.flt.MessageVerdict(srcNode, dstNode, nw.k.Now())
+// each traversal. A dropped message vanishes — no completion is ever
+// scheduled — which is exactly the failure the upper layers' timeouts
+// must detect. A duplicated message traverses twice, so the copy pays
+// its own link reservations and arrives later; deduplication is the
+// receiver's problem, as on a real at-least-once transport.
+func (nw *Network) sendFaultyAt(now sim.Time, srcNode, dstNode, payload int, kind MsgKind, deliver, local func()) {
+	v := nw.flt.MessageVerdict(srcNode, dstNode, now)
 	if v.Drop {
 		nw.flt.CountDrop()
 		return
@@ -243,16 +292,28 @@ func (nw *Network) sendFaulty(srcNode, dstNode, payload int, kind MsgKind, fn fu
 		nw.flt.CountDup()
 	}
 	for i := 0; i < copies; i++ {
-		nw.traverseFaulty(srcNode, dstNode, payload, kind, v.Delay, fn)
+		arrival, hops, ok := nw.transitFaulty(now, srcNode, dstNode, payload, kind, v.Delay)
+		if !ok {
+			continue
+		}
+		nw.noteSend(payload, hops)
+		if nw.lanes != nil {
+			nw.depositLaned(arrival, srcNode, dstNode, deliver, local)
+		} else {
+			nw.schedule(now, arrival, deliver, local)
+		}
 	}
 }
 
-// traverseFaulty runs one copy of a message through the MU and route,
-// applying link-level faults. Each copy books the injection MU and every
-// link separately, so duplicates contend like real retransmissions.
-func (nw *Network) traverseFaulty(srcNode, dstNode, payload int, kind MsgKind, extra sim.Time, fn func()) {
+// transitFaulty runs one copy of a message through the MU and route,
+// applying link-level faults, and returns (tail arrival, hops, ok).
+// Each copy books the injection MU and every link separately, so
+// duplicates contend like real retransmissions. ok is false when the
+// head reached a dead link mid-route: the message is lost, but links
+// already traversed keep their reservations (the bytes really crossed
+// them).
+func (nw *Network) transitFaulty(now sim.Time, srcNode, dstNode, payload int, kind MsgKind, extra sim.Time) (sim.Time, int, bool) {
 	p := nw.params
-	now := nw.k.Now()
 	ser := p.SerTime(payload)
 
 	start := now + extra
@@ -279,11 +340,8 @@ func (nw *Network) traverseFaulty(srcNode, dstNode, payload int, kind MsgKind, e
 	for _, l := range route {
 		down, factor := nw.flt.LinkState(l.ID(), head)
 		if down {
-			// The head reached a dead link: the message is lost mid-route.
-			// Links already traversed keep their reservations (the bytes
-			// really crossed them).
 			nw.flt.CountDrop()
-			return
+			return 0, 0, false
 		}
 		serL := ser
 		if factor < 1 {
@@ -293,8 +351,7 @@ func (nw *Network) traverseFaulty(srcNode, dstNode, payload int, kind MsgKind, e
 		head = nw.reserveLink(l.ID(), head, serL) + p.HopLatency
 		tail = serL
 	}
-	nw.noteSend(payload, hops)
-	nw.k.At(head+tail-now, fn)
+	return head + tail, hops, true
 }
 
 // SendNIC injects a NIC-generated response (e.g. a hardware-AMO reply):
@@ -302,12 +359,28 @@ func (nw *Network) traverseFaulty(srcNode, dstNode, payload int, kind MsgKind, e
 // the injection FIFO, so responses do not serialize behind regular
 // traffic. Link reservation along the route still applies.
 func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
-	p := nw.params
+	if nw.lanes != nil {
+		nw.nicLaned(srcNode, dstNode, payload, fn)
+		return
+	}
 	now := nw.k.Now()
+	arrival, hops, ok := nw.nicTransit(now, srcNode, dstNode, payload)
+	if !ok {
+		return
+	}
+	nw.noteSend(payload, hops)
+	nw.k.At(arrival-now, fn)
+}
+
+// nicTransit books the route for one NIC-generated response injected at
+// time now (no MU occupancy) and returns its (tail arrival, hops, ok);
+// ok is false when the fault injector dropped it.
+func (nw *Network) nicTransit(now sim.Time, srcNode, dstNode, payload int) (sim.Time, int, bool) {
+	p := nw.params
 	if nw.flt != nil {
 		if v := nw.flt.MessageVerdict(srcNode, dstNode, now); v.Drop {
 			nw.flt.CountDrop()
-			return
+			return 0, 0, false
 		}
 	}
 	ser := p.SerTime(payload)
@@ -322,13 +395,12 @@ func (nw *Network) SendNIC(srcNode, dstNode, payload int, fn func()) {
 		if nw.flt != nil {
 			if down, _ := nw.flt.LinkState(l.ID(), head); down {
 				nw.flt.CountDrop()
-				return
+				return 0, 0, false
 			}
 		}
 		head = nw.reserveLink(l.ID(), head, ser) + p.HopLatency
 	}
-	nw.noteSend(payload, hops)
-	nw.k.At(head+ser-now, fn)
+	return head + ser, hops, true
 }
 
 // OneWayLatency predicts the uncontended arrival delay of a message; used

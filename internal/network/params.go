@@ -178,6 +178,20 @@ func (p *Params) SerTime(payload int) sim.Time {
 	return sim.Time(float64(p.RawBytes(payload)) / p.LinkBandwidth)
 }
 
+// Lookahead returns the minimum cross-node latency any message can
+// achieve under this parameter set: the fixed injection-to-router time,
+// one router hop, and the serialization of an empty payload. It is the
+// conservative window bound Δ for the lane-partitioned kernel — every
+// cross-node effect issued at time u lands at ≥ u+Δ (real sends also pay
+// NicMsgOverhead and per-link queueing, which only push arrivals later).
+func (p *Params) Lookahead() sim.Time {
+	la := p.RouterFixed + p.HopLatency + p.SerTime(0)
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
 // PeakPayloadBandwidth returns the asymptotic payload bandwidth in MB/s
 // implied by the packetization overhead (the "1.8 GB/s available" ceiling).
 func (p *Params) PeakPayloadBandwidth() float64 {

@@ -77,12 +77,15 @@ type Result struct {
 }
 
 // scfShared is cross-rank state of one experiment (plain host memory:
-// reductions and result collection, zero virtual cost).
+// reductions and result collection, zero virtual cost). Every slice is
+// rank-indexed and written only by its owner, so rank threads running on
+// parallel lanes (Config.Shards > 1) never touch a shared element; the
+// folds happen after the world has joined.
 type scfShared struct {
-	cfg    Config
-	stats  []RankStats
-	energy float64
-	wall   sim.Time
+	cfg      Config
+	stats    []RankStats
+	energies []float64
+	walls    []sim.Time
 }
 
 // RunSCF executes the SCF proxy on an existing ARMCI world body. It is
@@ -156,7 +159,7 @@ func (sh *scfShared) run(th *sim.Thread, rt *armci.Runtime) {
 		fock.Sync(th)
 		// Energy: E = sum(F .* D) over owned elements, combined with the
 		// collective reduction (GA_Dgop over the combining network).
-		sh.energy = rt.AllReduceSum(th, sh.localEnergy(rt, density, fock))
+		sh.energies[rt.Rank] = rt.AllReduceSum(th, sh.localEnergy(rt, density, fock))
 		// Density update: D := (D + (F mod 64)) / 2 on owned blocks —
 		// exact dyadic arithmetic, so all configurations agree bitwise.
 		sh.updateDensity(rt, density, fock)
@@ -165,9 +168,7 @@ func (sh *scfShared) run(th *sim.Thread, rt *armci.Runtime) {
 	}
 
 	rt.Barrier(th)
-	if th.Now()-start > sh.wall {
-		sh.wall = th.Now() - start
-	}
+	sh.walls[rt.Rank] = th.Now() - start
 }
 
 // initDensity writes each rank's own block with deterministic integers.
@@ -216,19 +217,28 @@ func (sh *scfShared) updateDensity(rt *armci.Runtime, d, f *ga.Array) {
 func Experiment(acfg armci.Config, scfg Config) Result {
 	scfg = scfg.withDefaults()
 	sh := &scfShared{
-		cfg:   scfg,
-		stats: make([]RankStats, acfg.Procs),
+		cfg:      scfg,
+		stats:    make([]RankStats, acfg.Procs),
+		energies: make([]float64, acfg.Procs),
+		walls:    make([]sim.Time, acfg.Procs),
 	}
 	armci.MustRun(acfg, func(th *sim.Thread, rt *armci.Runtime) {
 		sh.run(th, rt)
 	})
 
+	var wall sim.Time
+	for _, w := range sh.walls {
+		if w > wall {
+			wall = w
+		}
+	}
 	res := Result{
 		Procs:       acfg.Procs,
 		AsyncThread: acfg.AsyncThread,
-		WallTime:    sh.wall,
-		Energy:      sh.energy,
-		NBF:         scfg.Mol.NBF,
+		WallTime:    wall,
+		// AllReduceSum hands every rank the identical deterministic total.
+		Energy: sh.energies[0],
+		NBF:    scfg.Mol.NBF,
 	}
 	n := sim.Time(acfg.Procs)
 	for _, st := range sh.stats {

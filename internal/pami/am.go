@@ -146,8 +146,8 @@ func (x *Context) rmwHardware(th *sim.Thread, dst Endpoint, addr mem.Addr, op Rm
 	net := c.M.Net
 	net.Send(c.Node, dst.Node, rmaControlBytes, network.Control, func() {
 		// NIC-side execute after the MU turnaround; atomicity comes from
-		// the event serialization at the target NIC.
-		c.M.K.At(p.MUTurnaround+p.RmwCost, func() {
+		// the event serialization at the target NIC (the target's lane).
+		tgt.Ln.At(p.MUTurnaround+p.RmwCost, func() {
 			old := tgt.Space.GetInt64(addr)
 			switch op {
 			case FetchAdd:

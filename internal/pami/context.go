@@ -56,7 +56,7 @@ func newContext(c *Client, index int) *Context {
 		Lock:     sim.NewMutex(c.M.K),
 		dispatch: make(map[int]AMHandler),
 	}
-	if r := c.M.Obs; r != nil {
+	if r := c.Obs; r != nil {
 		x.obs = r
 		rc := fmt.Sprintf("{rank=%d,ctx=%d}", c.Rank, index)
 		x.cAdvances = r.Counter("pami/ctx.advances" + rc)
@@ -67,7 +67,7 @@ func newContext(c *Client, index int) *Context {
 		x.hItemWait = r.Histogram("pami/ctx.item_wait_ns"+xc, obs.DefaultLatencyBounds)
 		x.hAMDispatch = r.Histogram("pami/am.dispatch_ns"+xc, obs.DefaultLatencyBounds)
 		x.Lock.Instrument(r, "pami/ctx.lock", xc)
-		x.lastAdvance = c.M.K.Now()
+		x.lastAdvance = c.Ln.Now()
 	}
 	x.installBuiltinDispatch()
 	return x
@@ -80,7 +80,7 @@ func newContext(c *Client, index int) *Context {
 func (x *Context) noteAdvance() {
 	x.Advances++
 	if x.obs != nil {
-		now := x.Client.M.K.Now()
+		now := x.Client.Ln.Now()
 		x.cAdvances.Add(1)
 		x.gStarve.SetMax(now - x.lastAdvance)
 		x.lastAdvance = now
@@ -99,7 +99,7 @@ func (x *Context) SetDispatch(id int, h AMHandler) {
 // post enqueues a work item and wakes every thread parked on this
 // context. Must be called from simulation context (events or threads).
 func (x *Context) post(it workItem) {
-	it.posted = x.Client.M.K.Now()
+	it.posted = x.Client.Ln.Now()
 	x.queue = append(x.queue, it)
 	for _, t := range x.waiters {
 		x.Client.M.K.Wake(t)
@@ -223,6 +223,7 @@ func (x *Context) WaitLocal(th *sim.Thread, comp *sim.Completion) {
 // dropped and nothing else would ever wake the waiter.
 func (x *Context) WaitLocalUntil(th *sim.Thread, comp *sim.Completion, deadline sim.Time) bool {
 	k := x.Client.M.K
+	ln := x.Client.Ln
 	armed := false
 	x.Lock.Lock(th)
 	for {
@@ -237,7 +238,7 @@ func (x *Context) WaitLocalUntil(th *sim.Thread, comp *sim.Completion, deadline 
 		}
 		if !armed {
 			armed = true
-			k.At(deadline-th.Now(), func() { k.Wake(th) })
+			ln.At(deadline-th.Now(), func() { k.Wake(th) })
 		}
 		x.subscribe(th)
 		comp.AddWaiter(th)
@@ -252,6 +253,7 @@ func (x *Context) WaitLocalUntil(th *sim.Thread, comp *sim.Completion, deadline 
 // side-effect free. Returns whether pred held before the deadline.
 func (x *Context) WaitCondUntil(th *sim.Thread, pred func() bool, deadline sim.Time) bool {
 	k := x.Client.M.K
+	ln := x.Client.Ln
 	armed := false
 	x.Lock.Lock(th)
 	for {
@@ -266,7 +268,7 @@ func (x *Context) WaitCondUntil(th *sim.Thread, pred func() bool, deadline sim.T
 		}
 		if !armed {
 			armed = true
-			k.At(deadline-th.Now(), func() { k.Wake(th) })
+			ln.At(deadline-th.Now(), func() { k.Wake(th) })
 		}
 		x.subscribe(th)
 		x.Lock.Unlock(th)

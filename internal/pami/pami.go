@@ -38,6 +38,11 @@ type Machine struct {
 	Obs     *obs.Registry
 	spaces  []*mem.Space
 	clients []*Client
+
+	// lanes, when non-nil, holds the node-indexed simulation lanes of a
+	// lane-partitioned kernel; clients created afterwards pin their
+	// scheduling and instrumentation to their node's lane.
+	lanes []*sim.Lane
 }
 
 // NewMachine builds a machine for every rank of the torus partition.
@@ -62,6 +67,26 @@ func (m *Machine) SetObs(r *obs.Registry) {
 	m.Obs = r
 	m.Net.SetObs(r)
 }
+
+// SetLanes installs the node-indexed lanes of a lane-partitioned kernel
+// on the machine and its network. Call after SetObs and before clients
+// are created.
+func (m *Machine) SetLanes(lanes []*sim.Lane) {
+	m.lanes = lanes
+	m.Net.SetLanes(lanes)
+}
+
+// laneFor returns the simulation lane owning a node: the node's lane in
+// lane-partitioned mode, the kernel's base lane otherwise. Never nil.
+func (m *Machine) laneFor(node int) *sim.Lane {
+	if m.lanes != nil {
+		return m.lanes[node]
+	}
+	return m.K.MainLane()
+}
+
+// LaneFor exposes laneFor to the layers above (thread placement).
+func (m *Machine) LaneFor(node int) *sim.Lane { return m.laneFor(node) }
 
 // Procs returns the number of ranks.
 func (m *Machine) Procs() int { return m.Net.Torus().Procs() }
@@ -96,6 +121,15 @@ type Client struct {
 	Node  int
 	Space *mem.Space
 	RNG   *sim.RNG
+
+	// Ln is the simulation lane this client's node belongs to (the
+	// kernel's base lane on an unpartitioned kernel); all of the client's
+	// local scheduling — ack delays, MU turnaround, progress timers —
+	// goes through it. Obs is the registry the client's contexts record
+	// into: the lane's child registry when partitioned, else the
+	// machine's.
+	Ln  *sim.Lane
+	Obs *obs.Registry
 
 	Contexts []*Context
 
@@ -141,6 +175,12 @@ func (m *Machine) NewClient(th *sim.Thread, rank int) *Client {
 		Space:   m.spaces[rank],
 		RNG:     sim.NewRNG(m.SeedBase ^ (uint64(rank)*0x9e37 + 1)),
 		rmwPend: make(map[uint64]*rmwPending),
+	}
+	c.Ln = m.laneFor(c.Node)
+	if m.lanes != nil {
+		c.Obs = c.Ln.Obs()
+	} else {
+		c.Obs = m.Obs
 	}
 	th.Sleep(c.jit(m.P.ClientCreateTime))
 	m.clients[rank] = c

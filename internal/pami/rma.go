@@ -34,12 +34,19 @@ func (x *Context) RdmaPut(th *sim.Thread, dst Endpoint, local, remote mem.Addr, 
 		// report success for a message the injector then drops; tying the
 		// completion to delivery is what lets a timed wait detect the loss
 		// and retry. RdmaPut is byte-idempotent, so the retry may overlap a
-		// delayed original harmlessly.
-		c.M.Net.Send(c.Node, dst.Node, n, network.Data, func() {
+		// delayed original harmlessly. The delivery (target memory) and the
+		// completion (initiator progress engine) live on different lanes,
+		// so they ride the message as a split completion pair.
+		if localComp == nil {
+			c.M.Net.Send(c.Node, dst.Node, n, network.Data, func() {
+				tgt.CopyIn(remote, buf)
+			})
+			return
+		}
+		c.M.Net.SendWithLocal(c.Node, dst.Node, n, network.Data, func() {
 			tgt.CopyIn(remote, buf)
-			if localComp != nil {
-				x.postCompletion(localComp)
-			}
+		}, func() {
+			x.postCompletion(localComp)
 		})
 		return
 	}
@@ -52,7 +59,7 @@ func (x *Context) RdmaPut(th *sim.Thread, dst Endpoint, local, remote mem.Addr, 
 		if n > 0 && n < p.UnalignedThreshold {
 			ackDelay += p.UnalignedPenalty
 		}
-		c.M.K.At(ackDelay, func() { x.postCompletion(localComp) })
+		c.Ln.At(ackDelay, func() { x.postCompletion(localComp) })
 	}
 }
 
@@ -65,12 +72,15 @@ func (x *Context) RdmaGet(th *sim.Thread, dst Endpoint, local, remote mem.Addr, 
 	p := c.M.P
 	th.Sleep(c.jit(p.CPUInject))
 
-	src := c.peer(dst.Rank).Space
+	tc := c.peer(dst.Rank)
+	src := tc.Space
 	net := c.M.Net
 	net.Send(c.Node, dst.Node, rmaControlBytes, network.Control, func() {
 		// Request arrived at the target MU; after the turnaround it
 		// streams the data back. The bytes are captured at stream time.
-		c.M.K.At(p.MUTurnaround, func() {
+		// The turnaround runs on the target's lane — that is where the
+		// delivery callback executes.
+		tc.Ln.At(p.MUTurnaround, func() {
 			buf := make([]byte, n)
 			src.CopyOut(remote, buf)
 			net.Send(dst.Node, c.Node, n, network.Data, func() {
@@ -99,7 +109,7 @@ func (x *Context) RdmaPutSet(th *sim.Thread, dst Endpoint, local, remote mem.Add
 	if n > 0 && n < p.UnalignedThreshold {
 		ackDelay += p.UnalignedPenalty
 	}
-	c.M.K.At(ackDelay, func() { set.done() })
+	c.Ln.At(ackDelay, func() { set.done() })
 }
 
 // RdmaGetSet is RdmaGet for one chunk of a multi-chunk transfer.
@@ -107,11 +117,12 @@ func (x *Context) RdmaGetSet(th *sim.Thread, dst Endpoint, local, remote mem.Add
 	c := x.Client
 	p := c.M.P
 	th.Sleep(c.jit(p.CPUInject))
-	src := c.peer(dst.Rank).Space
+	tc := c.peer(dst.Rank)
+	src := tc.Space
 	net := c.M.Net
 	set.add()
 	net.Send(c.Node, dst.Node, rmaControlBytes, network.Control, func() {
-		c.M.K.At(p.MUTurnaround, func() {
+		tc.Ln.At(p.MUTurnaround, func() {
 			buf := make([]byte, n)
 			src.CopyOut(remote, buf)
 			net.Send(dst.Node, c.Node, n, network.Data, func() {
@@ -131,9 +142,10 @@ func (x *Context) FlushRemote(th *sim.Thread, dst Endpoint, comp *sim.Completion
 	p := c.M.P
 	th.Sleep(c.jit(p.CPUInject))
 
+	tc := c.peer(dst.Rank)
 	net := c.M.Net
 	net.Send(c.Node, dst.Node, rmaControlBytes, network.Control, func() {
-		c.M.K.At(p.MUTurnaround, func() {
+		tc.Ln.At(p.MUTurnaround, func() {
 			net.Send(dst.Node, c.Node, rmaControlBytes, network.Control, func() {
 				x.postCompletion(comp)
 			})

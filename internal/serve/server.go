@@ -39,6 +39,12 @@ type Options struct {
 	// GOMAXPROCS/Workers, at least 1), so concurrent jobs share the host
 	// cores instead of oversubscribing them.
 	SweepWorkers int
+	// Shards is the intra-run lane worker count each engine applies to
+	// the simulations it executes (armci.Config.Shards; default 0, the
+	// single-worker lane engine). Execution-side only: shard count is
+	// not part of a job's identity, so it never changes which cache
+	// entry a config maps to nor the bytes that entry holds.
+	Shards int
 	// JobTimeout aborts a single job's execution (default 2 minutes).
 	JobTimeout time.Duration
 	// RunHistory bounds retained run records, live plus finished
@@ -153,7 +159,7 @@ func New(opts Options) *Server {
 		started: time.Now(),
 	}
 	for i := 0; i < opts.Workers; i++ {
-		s.engines <- sweep.New(opts.SweepWorkers, nil)
+		s.engines <- sweep.NewSharded(opts.SweepWorkers, opts.Shards, nil)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -16,76 +17,82 @@ import (
 // and the ordering proof. Steady-state scheduling performs zero heap
 // allocations: both containers recycle their backing arrays, and thread
 // wake-ups carry a typed *Thread target instead of a closure.
+//
+// A kernel is single-lane by default: the embedded base Lane is the whole
+// scheduler, and every legacy call (At, Spawn, Now) promotes to it
+// unchanged. ConfigureLanes partitions the simulation into additional
+// lanes advanced in conservative time windows, possibly on parallel
+// worker goroutines; see lane.go.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	heap    eventHeap
-	ring    fifoRing
-	yield   chan struct{}
-	cur     *Thread
-	threads []*Thread
-	live    int
-	fired   uint64
-	failure *ThreadPanic
-	running bool
+	Lane // base lane: the whole scheduler single-lane, the coordinator queue multi-lane
 
-	obs       *obs.Registry
-	obsEvents *obs.Counter
+	// Multi-lane state (zero for classic single-lane kernels).
+	multi        bool
+	workers      int
+	lookahead    Time
+	lanes        []*Lane
+	activeLanes  []*Lane
+	laneSpares   *laneSpareSet
+	exec         *laneExec
+	inWindow     atomic.Bool
+	inBoundary   bool
+	laneInserted bool
+	lanesMerged  bool
+	boundary     []boundaryRef
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	k := &Kernel{}
+	k.Lane.k = k
+	k.Lane.yield = make(chan struct{})
+	k.Lane.winCap = timeInf
+	return k
 }
-
-// Now returns the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
 
 // SetObs installs the observability registry. All kernel, thread, and
 // mutex instrumentation is a no-op until this is called; nil uninstalls.
+// With lanes, SetObs must precede ConfigureLanes so each lane can derive
+// its child registry.
 func (k *Kernel) SetObs(r *obs.Registry) {
-	k.obs = r
-	k.obsEvents = r.Counter("sim/events") // nil when r is nil
+	k.Lane.obs = r
+	k.Lane.obsEvents = r.Counter("sim/events") // nil when r is nil
 }
 
-// Obs returns the installed registry (nil when observability is off).
-func (k *Kernel) Obs() *obs.Registry { return k.obs }
-
-// EventsFired returns the number of events executed so far; useful for
-// gauging simulation cost and for replay-determinism checks.
-func (k *Kernel) EventsFired() uint64 { return k.fired }
-
-// Pending returns the number of scheduled, not-yet-fired events.
-func (k *Kernel) Pending() int { return len(k.heap) + k.ring.n }
-
-// At schedules fn to run at now+delay. A negative delay panics: causality
-// violations are always bugs in the caller.
-func (k *Kernel) At(delay Time, fn func()) {
-	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", delay))
+// EventsFired returns the number of events executed so far across every
+// lane; useful for gauging simulation cost and for replay-determinism
+// checks.
+func (k *Kernel) EventsFired() uint64 {
+	n := k.Lane.fired
+	for _, ln := range k.lanes {
+		n += ln.fired
 	}
-	k.seq++
-	e := event{at: k.now + delay, seq: k.seq, fn: fn}
-	if delay == 0 {
-		k.ring.push(e)
-	} else {
-		k.heapPush(e)
-	}
+	return n
 }
 
-// scheduleThread schedules a control transfer to t at now+delay. It is
-// the closure-free twin of At for the scheduler's own traffic
+// Pending returns the number of scheduled, not-yet-fired events across
+// every lane.
+func (k *Kernel) Pending() int {
+	n := len(k.Lane.heap) + k.Lane.ring.n
+	for _, ln := range k.lanes {
+		n += len(ln.heap) + ln.ring.n
+	}
+	return n
+}
+
+// scheduleThread schedules a control transfer to t at now+delay on this
+// lane. It is the closure-free twin of At for the scheduler's own traffic
 // (Spawn/Sleep/Yield/Wake), which dominates the event mix.
-func (k *Kernel) scheduleThread(delay Time, t *Thread) {
+func (ln *Lane) scheduleThread(delay Time, t *Thread) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	k.seq++
-	e := event{at: k.now + delay, seq: k.seq, t: t}
+	ln.seq++
+	e := event{at: ln.now + delay, seq: ln.seq, t: t}
 	if delay == 0 {
-		k.ring.push(e)
+		ln.ring.push(e)
 	} else {
-		k.heapPush(e)
+		ln.heapPush(e)
 	}
 }
 
@@ -121,6 +128,9 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	defer func() { k.running = false }()
+	if k.multi {
+		return k.runLanes()
+	}
 	for k.ring.n > 0 || len(k.heap) > 0 {
 		// Merge the two queues on (at, seq). On equal timestamps the heap
 		// entry was scheduled first (see queue.go), so it wins ties.
@@ -161,23 +171,25 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
-// transfer hands control from the kernel goroutine to thread t and blocks
-// until t yields back. It must only be called from kernel context (inside
-// an event callback).
-func (k *Kernel) transfer(t *Thread) {
+// transfer hands control from the lane's scheduling goroutine to thread t
+// and blocks until t yields back. It must only be called from the lane's
+// event loop.
+func (ln *Lane) transfer(t *Thread) {
 	if t.state == stateDone {
 		return
 	}
 	t.state = stateRunning
-	k.cur = t
+	ln.cur = t
 	t.resume <- struct{}{}
-	<-k.yield
-	k.cur = nil
-	if t.panicked != nil && k.failure == nil {
-		k.failure = t.panicked
+	<-ln.yield
+	ln.cur = nil
+	if t.panicked != nil && ln.failure == nil {
+		ln.failure = t.panicked
 	}
 }
 
 // Current returns the thread currently executing, or nil when the kernel
-// itself (an event callback) is running.
-func (k *Kernel) Current() *Thread { return k.cur }
+// itself (an event callback) is running. Meaningful only on a
+// single-lane kernel; with lanes, each lane tracks its own current
+// thread.
+func (k *Kernel) Current() *Thread { return k.Lane.cur }

@@ -1,0 +1,570 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// This file is the intra-run parallel engine: a conservative
+// time-window scheduler in the style of parti-gem5's quantum
+// synchronization, layered over the PR 2 queue structures.
+//
+// The simulation is partitioned into lanes. A Lane owns a private
+// min-heap + zero-delay ring (the exact single-kernel queue layout), a
+// private clock and sequence counter, and the threads pinned to it.
+// Lanes advance in rounds: the coordinator computes a conservative
+// horizon per lane, the runnable lanes execute every owned event below
+// their horizon (possibly on parallel worker goroutines), and then the
+// coordinator applies the cross-lane operations the lanes logged —
+// message sends, barrier arrivals — in one canonical order, inserting
+// their future effects into the destination lanes' heaps.
+//
+// Correctness (no lane ever receives an event in its past) rests on the
+// model's lookahead Δ: every cross-lane operation issued at time u takes
+// effect in another lane no earlier than u+Δ (for the network model, Δ
+// is the minimum cross-node wire latency; see network.Params.Lookahead).
+// The horizon rule is CMB-style:
+//
+//	H(i) = min over j≠i of T_next(j) + Δ
+//
+// where T_next(j) is lane j's earliest pending event at round start
+// (after the previous round's logged operations were applied, so every
+// future cross-lane effect traces back to some currently-visible event).
+// Any event another lane j executes this round has time ≥ T_next(j), so
+// any effect it can deposit into lane i lands at ≥ T_next(j)+Δ ≥ H(i) —
+// in i's future. Effects of lane i's *own* logged operations can return
+// to i (a reply chain, a barrier release) without being visible in other
+// lanes' T_next, so each Defer dynamically caps the window: an operation
+// logged with earliest-effect bound m stops the lane at m (operations
+// that may touch the own lane directly) or m+Δ (remote-only operations,
+// whose earliest path back to this lane needs one more cross-lane hop).
+//
+// Determinism at any worker count: lanes are data-independent within a
+// round (that is the horizon invariant), so executing them in any order
+// or in parallel yields identical per-lane states; the boundary then
+// applies logged operations in the canonical (time, lane index, log
+// index) order on one goroutine. Worker count therefore cannot change a
+// single simulated byte — it only changes wall-clock time.
+
+const timeInf = Time(math.MaxInt64)
+
+// deferredOp is one logged cross-lane operation awaiting boundary
+// application.
+type deferredOp struct {
+	at        Time // lane time when logged
+	minEffect Time // lower bound on the operation's earliest effect, anywhere
+	fn        func(at Time)
+}
+
+// boundaryRef addresses one logged operation during the boundary merge.
+type boundaryRef struct {
+	ln  *Lane
+	pos int
+}
+
+// Lane is one shard of a partitioned simulation: a private event queue,
+// clock, and thread set. In a single-lane kernel the kernel's embedded
+// base lane is the whole scheduler; ConfigureLanes adds peer lanes for
+// multi-lane runs. Lane methods that schedule relative to "now" (At,
+// Defer, DeferRemote) must be called from within the lane — its threads
+// or event callbacks — while ScheduleAbs is the boundary-side insertion
+// used by deferred-operation appliers.
+type Lane struct {
+	k       *Kernel
+	idx     int
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	ring    fifoRing
+	yield   chan struct{}
+	cur     *Thread
+	threads []*Thread
+	live    int
+	fired   uint64
+	failure *ThreadPanic
+	running bool
+
+	obs       *obs.Registry
+	obsEvents *obs.Counter
+
+	// Window state (multi-lane mode).
+	limit    Time // exclusive horizon of the current window
+	winCap   Time // dynamic cap from operations deferred this window
+	active   bool // on the coordinator's active list
+	deferred []deferredOp
+}
+
+// Index returns the lane's index within its kernel (0 for the base lane
+// of a single-lane kernel).
+func (ln *Lane) Index() int { return ln.idx }
+
+// Now returns the lane's clock. During a window this is the lane's own
+// virtual time, which may differ from other lanes' clocks by up to the
+// window width.
+func (ln *Lane) Now() Time { return ln.now }
+
+// Obs returns the registry lane-local instrumentation must record into:
+// the lane's child registry in multi-lane mode (merged into the parent
+// in lane order after the run), or the kernel's registry (possibly nil)
+// in single-lane mode.
+func (ln *Lane) Obs() *obs.Registry { return ln.obs }
+
+// At schedules fn at now+delay on this lane. A negative delay panics:
+// causality violations are always bugs in the caller. On a single-lane
+// kernel this is Kernel.At; on a multi-lane kernel the base lane is the
+// coordinator queue and must not be scheduled into from a lane window.
+func (ln *Lane) At(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	if ln.k.multi && ln == &ln.k.Lane && ln.k.inWindow.Load() {
+		panic("sim: Kernel.At during a lane window; schedule on the owning lane")
+	}
+	ln.seq++
+	e := event{at: ln.now + delay, seq: ln.seq, fn: fn}
+	if delay == 0 {
+		ln.ring.push(e)
+	} else {
+		ln.heapPush(e)
+	}
+}
+
+// ScheduleAbs inserts fn at absolute time at — the boundary-phase
+// insertion used by deferred-operation appliers to deposit an effect
+// (a message arrival, a barrier release) into a destination lane. at
+// must not be in the lane's past; the horizon protocol guarantees that,
+// and a violation means a lookahead bound was broken.
+func (ln *Lane) ScheduleAbs(at Time, fn func()) {
+	if ln.k.inWindow.Load() {
+		panic("sim: ScheduleAbs during a lane window; log a Defer instead")
+	}
+	if at < ln.now {
+		panic(fmt.Sprintf("sim: cross-lane event at %s is in lane %d's past (now %s): lookahead bound violated",
+			FormatTime(at), ln.idx, FormatTime(ln.now)))
+	}
+	ln.seq++
+	ln.heapPush(event{at: at, seq: ln.seq, fn: fn})
+	ln.k.laneInserted = true
+	if !ln.active && ln != &ln.k.Lane {
+		ln.active = true
+		ln.k.activeLanes = append(ln.k.activeLanes, ln)
+	}
+}
+
+// Defer logs a cross-lane operation for application at the next window
+// boundary. minEffect must lower-bound the earliest time the operation
+// takes effect anywhere, including this lane itself (a barrier release,
+// a loopback delivery); the lane's window is capped at minEffect so the
+// effect can still be deposited into this lane's future. fn runs on the
+// coordinator goroutine, in canonical (time, lane, log index) order
+// against all other lanes' logged operations, receiving the lane time
+// at which the operation was issued. On a single-lane kernel (or from a
+// coordinator event, which already runs serially between rounds) fn
+// applies immediately — there is no concurrency to defer around — which
+// keeps callers engine-agnostic.
+func (ln *Lane) Defer(minEffect Time, fn func(at Time)) {
+	if !ln.k.multi || ln == &ln.k.Lane {
+		fn(ln.now)
+		return
+	}
+	if ln.k.inBoundary {
+		panic("sim: Defer from a boundary applier; use ScheduleAbs")
+	}
+	if minEffect < ln.now {
+		panic("sim: Defer minEffect before now")
+	}
+	ln.deferred = append(ln.deferred, deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
+	if minEffect < ln.winCap {
+		ln.winCap = minEffect
+	}
+}
+
+// DeferRemote is Defer for operations whose direct effects land only in
+// *other* lanes (a remote message send). The earliest path back to this
+// lane needs one further cross-lane hop, so the window cap relaxes to
+// minEffect+Δ. minEffect must additionally be ≥ now+Δ — that is the
+// lookahead contract every other lane's horizon already assumes.
+func (ln *Lane) DeferRemote(minEffect Time, fn func(at Time)) {
+	if !ln.k.multi || ln == &ln.k.Lane {
+		fn(ln.now)
+		return
+	}
+	if ln.k.inBoundary {
+		panic("sim: DeferRemote from a boundary applier; use ScheduleAbs")
+	}
+	if minEffect < ln.now+ln.k.lookahead {
+		panic("sim: DeferRemote minEffect inside the lookahead window")
+	}
+	ln.deferred = append(ln.deferred, deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
+	if c := minEffect + ln.k.lookahead; c < ln.winCap {
+		ln.winCap = c
+	}
+}
+
+// nextTime returns the lane's earliest pending event time, or timeInf.
+func (ln *Lane) nextTime() Time {
+	t := timeInf
+	if len(ln.heap) > 0 {
+		t = ln.heap[0].at
+	}
+	if ln.ring.n > 0 {
+		if rt := ln.ring.buf[ln.ring.head].at; rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// runWindow executes the lane's events with time strictly below the
+// window limit (dynamically capped by Defer). It may run on any worker
+// goroutine; the lane is owned exclusively by its window for the round.
+func (ln *Lane) runWindow() {
+	for {
+		limit := ln.limit
+		if ln.winCap < limit {
+			limit = ln.winCap
+		}
+		// Merge the two queues on (at, seq); heap wins ties (see queue.go).
+		var e event
+		if ln.ring.n == 0 || (len(ln.heap) > 0 && ln.heap[0].at <= ln.ring.buf[ln.ring.head].at) {
+			if len(ln.heap) == 0 || ln.heap[0].at >= limit {
+				return
+			}
+			e = ln.heapPop()
+		} else {
+			if ln.ring.buf[ln.ring.head].at >= limit {
+				return
+			}
+			e = ln.ring.pop()
+		}
+		if e.at < ln.now {
+			panic("sim: time went backwards")
+		}
+		ln.now = e.at
+		ln.fired++
+		ln.obsEvents.Add(1)
+		if e.t != nil {
+			ln.transfer(e.t)
+		} else {
+			e.fn()
+		}
+		if ln.failure != nil {
+			return
+		}
+	}
+}
+
+// ConfigureLanes partitions the kernel into n lanes executed by up to
+// `workers` goroutines, with cross-lane lookahead Δ. It must be called
+// before any thread is spawned, and after SetObs (each lane records into
+// a private child registry of the kernel's registry, merged back in lane
+// order after Run). The kernel's own base queue becomes the coordinator:
+// events scheduled through Kernel.At — fault windows, setup timers —
+// stay there and execute serially between rounds; they must not touch
+// lane-owned state.
+//
+// n must be ≥ 1; n == 1 still runs the windowed engine (with trivial
+// horizons), which keeps behavior identical across lane counts.
+func (k *Kernel) ConfigureLanes(n, workers int, lookahead Time) {
+	if k.running {
+		panic("sim: ConfigureLanes during Run")
+	}
+	if k.multi {
+		panic("sim: ConfigureLanes called twice")
+	}
+	if n < 1 {
+		panic("sim: lane count must be >= 1")
+	}
+	if len(k.Lane.threads) > 0 {
+		panic("sim: ConfigureLanes after Spawn")
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	k.multi = true
+	k.workers = workers
+	k.lookahead = lookahead
+	k.lanes = make([]*Lane, n)
+	for i := range k.lanes {
+		ln := &Lane{k: k, idx: i, yield: make(chan struct{}), winCap: timeInf}
+		if sp := k.laneSpares; sp != nil && i < len(sp.heaps) {
+			if h := sp.heaps[i]; h != nil {
+				ln.heap = h[:0]
+			}
+			if r := sp.rings[i]; r != nil {
+				ln.ring.buf = r
+			}
+		}
+		if k.obs != nil {
+			ln.obs = k.obs.NewChild()
+			ln.obsEvents = ln.obs.Counter("sim/events")
+		}
+		k.lanes[i] = ln
+	}
+	k.laneSpares = nil
+}
+
+// Lanes returns the kernel's lanes, or nil for a single-lane kernel.
+func (k *Kernel) Lanes() []*Lane { return k.lanes }
+
+// MainLane returns the kernel's base lane: the whole scheduler in
+// single-lane mode, the coordinator queue in multi-lane mode. Layers
+// that hold a *Lane handle per component use it as the single-mode
+// default so their scheduling code is engine-agnostic.
+func (k *Kernel) MainLane() *Lane { return &k.Lane }
+
+// Multi reports whether the kernel was partitioned with ConfigureLanes.
+func (k *Kernel) Multi() bool { return k.multi }
+
+// Lookahead returns the configured cross-lane lookahead (0 when the
+// kernel is single-lane).
+func (k *Kernel) Lookahead() Time { return k.lookahead }
+
+// laneExec is the persistent worker pool executing runnable lanes. The
+// coordinator participates as the last worker, so one configured worker
+// means fully inline execution with no cross-goroutine handoff.
+type laneExec struct {
+	start    chan struct{}
+	wg       sync.WaitGroup
+	next     atomic.Int32
+	runnable []*Lane
+}
+
+func (k *Kernel) execWorkers() *laneExec {
+	if k.exec == nil {
+		x := &laneExec{start: make(chan struct{})}
+		k.exec = x
+		for w := 0; w < k.workers-1; w++ {
+			go func() {
+				for range x.start {
+					x.drain()
+					x.wg.Done()
+				}
+			}()
+		}
+	}
+	return k.exec
+}
+
+func (x *laneExec) drain() {
+	for {
+		i := int(x.next.Add(1)) - 1
+		if i >= len(x.runnable) {
+			return
+		}
+		x.runnable[i].runWindow()
+	}
+}
+
+// runLanes is the multi-lane Run loop: rounds of horizon computation,
+// (possibly parallel) window execution, and serial boundary application.
+func (k *Kernel) runLanes() error {
+	x := k.execWorkers()
+	defer func() { k.exec = nil }()
+	defer close(x.start)
+
+	var runnable []*Lane
+	for {
+		k.laneInserted = false
+
+		// Find the two earliest lane next-times among active lanes,
+		// compacting lanes that have gone idle off the active list.
+		min1, min2 := timeInf, timeInf
+		var argmin *Lane
+		live := k.activeLanes[:0]
+		for _, ln := range k.activeLanes {
+			t := ln.nextTime()
+			if t == timeInf {
+				ln.active = false
+				continue
+			}
+			live = append(live, ln)
+			if t < min1 {
+				min1, min2 = t, min1
+				argmin = ln
+			} else if t < min2 {
+				min2 = t
+			}
+		}
+		k.activeLanes = live
+
+		// Coordinator events (setup timers, fault windows) up to the
+		// global minimum run serially between rounds.
+		for {
+			var e event
+			co := &k.Lane
+			if co.ring.n == 0 || (len(co.heap) > 0 && co.heap[0].at <= co.ring.buf[co.ring.head].at) {
+				if len(co.heap) == 0 || co.heap[0].at > min1 {
+					break
+				}
+				e = co.heapPop()
+			} else {
+				if co.ring.buf[co.ring.head].at > min1 {
+					break
+				}
+				e = co.ring.pop()
+			}
+			co.now = e.at
+			co.fired++
+			co.obsEvents.Add(1)
+			if e.t != nil {
+				panic("sim: thread scheduled on the coordinator of a multi-lane kernel")
+			}
+			e.fn()
+		}
+		if k.laneInserted {
+			// A coordinator event (or a fresh spawn) inserted lane events;
+			// the min1/min2 scan is stale. Recompute before running a round.
+			continue
+		}
+		if min1 == timeInf {
+			break // every lane and the coordinator have drained
+		}
+
+		// Horizons: H(i) = min over j≠i of T_next(j) + Δ. The argmin lane
+		// sees the second minimum; with no second minimum it sprints,
+		// bounded only by its own Defer caps.
+		runnable = runnable[:0]
+		for _, ln := range k.activeLanes {
+			h := min1
+			if ln == argmin {
+				h = min2
+			}
+			if h == timeInf {
+				ln.limit = timeInf
+			} else {
+				ln.limit = h + k.lookahead
+			}
+			if ln.nextTime() < ln.limit {
+				ln.winCap = timeInf
+				runnable = append(runnable, ln)
+			}
+		}
+
+		// Execute the round. A single runnable lane (or a single-worker
+		// kernel) runs inline: no handoff, no atomics.
+		k.inWindow.Store(true)
+		if len(runnable) == 1 || k.workers == 1 {
+			for _, ln := range runnable {
+				ln.runWindow()
+			}
+		} else {
+			x.runnable = runnable
+			x.next.Store(0)
+			w := k.workers - 1
+			x.wg.Add(w)
+			for i := 0; i < w; i++ {
+				x.start <- struct{}{}
+			}
+			x.drain()
+			x.wg.Wait()
+		}
+		k.inWindow.Store(false)
+
+		for _, ln := range runnable {
+			if ln.failure != nil && k.Lane.failure == nil {
+				k.Lane.failure = ln.failure
+			}
+		}
+		if k.Lane.failure != nil {
+			k.mergeLaneObs()
+			return k.Lane.failure
+		}
+
+		// Boundary: apply every logged operation in canonical
+		// (time, lane index, log index) order on this goroutine.
+		buf := k.boundary[:0]
+		for _, ln := range k.lanes {
+			for i := range ln.deferred {
+				buf = append(buf, boundaryRef{ln, i})
+			}
+		}
+		if len(buf) > 0 {
+			k.inBoundary = true
+			sort.Slice(buf, func(i, j int) bool {
+				a, b := buf[i], buf[j]
+				oa, ob := &a.ln.deferred[a.pos], &b.ln.deferred[b.pos]
+				if oa.at != ob.at {
+					return oa.at < ob.at
+				}
+				if a.ln.idx != b.ln.idx {
+					return a.ln.idx < b.ln.idx
+				}
+				return a.pos < b.pos
+			})
+			for _, r := range buf {
+				op := &r.ln.deferred[r.pos]
+				op.fn(op.at)
+			}
+			for _, ln := range k.lanes {
+				if len(ln.deferred) > 0 {
+					for i := range ln.deferred {
+						ln.deferred[i] = deferredOp{} // release closures to the GC
+					}
+					ln.deferred = ln.deferred[:0]
+				}
+			}
+			k.inBoundary = false
+		}
+		k.boundary = buf[:0]
+	}
+
+	// Termination: the final clock is the maximum over every lane.
+	final := k.Lane.now
+	liveCount := k.Lane.live
+	for _, ln := range k.lanes {
+		if ln.now > final {
+			final = ln.now
+		}
+		liveCount += ln.live
+	}
+	k.Lane.now = final
+	k.mergeLaneObs()
+	if k.obs != nil {
+		k.obs.Gauge("sim/final_ns").SetMax(final)
+	}
+	if liveCount > 0 {
+		var blocked []string
+		for _, t := range k.Lane.threads {
+			if t.state != stateDone {
+				blocked = append(blocked, fmt.Sprintf("%s(%s)", t.Name, t.state))
+			}
+		}
+		for _, ln := range k.lanes {
+			for _, t := range ln.threads {
+				if t.state != stateDone {
+					blocked = append(blocked, fmt.Sprintf("%s(%s)", t.Name, t.state))
+				}
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: final, Blocked: blocked}
+	}
+	return nil
+}
+
+// mergeLaneObs folds every lane's child registry into the parent, in
+// lane order — the same order a serial replay would record, so exported
+// bytes are independent of worker count.
+func (k *Kernel) mergeLaneObs() {
+	if k.obs == nil || k.lanesMerged {
+		return
+	}
+	k.lanesMerged = true
+	for _, ln := range k.lanes {
+		if ln.obs != nil {
+			k.obs.Merge(ln.obs)
+		}
+	}
+}

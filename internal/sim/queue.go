@@ -76,19 +76,19 @@ func (h eventHeap) siftDown(i int) {
 	}
 }
 
-func (k *Kernel) heapPush(e event) {
-	k.heap = append(k.heap, e)
-	k.heap.siftUp(len(k.heap) - 1)
+func (ln *Lane) heapPush(e event) {
+	ln.heap = append(ln.heap, e)
+	ln.heap.siftUp(len(ln.heap) - 1)
 }
 
-func (k *Kernel) heapPop() event {
-	h := k.heap
+func (ln *Lane) heapPop() event {
+	h := ln.heap
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{} // release fn/thread references to the GC
-	k.heap = h[:n]
-	k.heap.siftDown(0)
+	ln.heap = h[:n]
+	ln.heap.siftDown(0)
 	return top
 }
 

@@ -9,6 +9,16 @@ type Spares struct {
 	heap    []event
 	ring    []event
 	threads []*Thread
+
+	// Per-lane queue arrays from a recycled multi-lane kernel, adopted
+	// positionally by the next ConfigureLanes.
+	lanes *laneSpareSet
+}
+
+// laneSpareSet carries per-lane backing arrays between multi-lane runs.
+type laneSpareSet struct {
+	heaps [][]event
+	rings [][]event
 }
 
 // NewKernelWith returns an empty kernel at virtual time zero, adopting
@@ -20,17 +30,18 @@ func NewKernelWith(sp *Spares) *Kernel {
 		return k
 	}
 	if sp.heap != nil {
-		k.heap = sp.heap[:0]
+		k.Lane.heap = sp.heap[:0]
 	}
 	if sp.ring != nil {
 		// The ring buffer is drained and zeroed when the previous run
 		// finished; its length is a power of two by construction.
-		k.ring.buf = sp.ring
+		k.Lane.ring.buf = sp.ring
 	}
 	if sp.threads != nil {
-		k.threads = sp.threads[:0]
+		k.Lane.threads = sp.threads[:0]
 	}
-	sp.heap, sp.ring, sp.threads = nil, nil, nil
+	k.laneSpares = sp.lanes
+	sp.heap, sp.ring, sp.threads, sp.lanes = nil, nil, nil, nil
 	return k
 }
 
@@ -43,16 +54,38 @@ func (k *Kernel) Recycle(sp *Spares) {
 	if sp == nil {
 		return
 	}
-	if k.running || k.Pending() != 0 || k.live > 0 {
+	if k.running || k.Pending() != 0 || k.Lane.live > 0 {
 		panic("sim: Recycle on a kernel that has not finished cleanly")
 	}
-	for i := range k.threads {
-		k.threads[i] = nil // release finished Thread structs to the GC
+	for _, ln := range k.lanes {
+		if ln.live > 0 {
+			panic("sim: Recycle on a kernel that has not finished cleanly")
+		}
 	}
-	sp.heap = k.heap[:0]
-	sp.ring = k.ring.buf
-	sp.threads = k.threads[:0]
-	k.heap = nil
-	k.ring = fifoRing{}
-	k.threads = nil
+	for i := range k.Lane.threads {
+		k.Lane.threads[i] = nil // release finished Thread structs to the GC
+	}
+	sp.heap = k.Lane.heap[:0]
+	sp.ring = k.Lane.ring.buf
+	sp.threads = k.Lane.threads[:0]
+	k.Lane.heap = nil
+	k.Lane.ring = fifoRing{}
+	k.Lane.threads = nil
+	if len(k.lanes) > 0 {
+		ls := &laneSpareSet{
+			heaps: make([][]event, len(k.lanes)),
+			rings: make([][]event, len(k.lanes)),
+		}
+		for i, ln := range k.lanes {
+			for j := range ln.threads {
+				ln.threads[j] = nil
+			}
+			ls.heaps[i] = ln.heap[:0]
+			ls.rings[i] = ln.ring.buf
+			ln.heap = nil
+			ln.ring = fifoRing{}
+			ln.threads = nil
+		}
+		sp.lanes = ls
+	}
 }

@@ -77,18 +77,18 @@ func (m *Mutex) Lock(t *Thread) {
 		m.owner = t
 		if m.waitHist != nil {
 			m.waitHist.Observe(0)
-			m.acquiredAt = m.k.now
+			m.acquiredAt = t.Now()
 		}
 		return
 	}
 	m.Contended++
-	t0 := m.k.now
+	t0 := t.Now()
 	m.queue = append(m.queue, t)
 	for m.owner != t {
 		t.Park()
 	}
 	if m.waitHist != nil {
-		m.waitHist.Observe(m.k.now - t0)
+		m.waitHist.Observe(t.Now() - t0)
 	}
 }
 
@@ -101,7 +101,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 	m.owner = t
 	if m.waitHist != nil {
 		m.waitHist.Observe(0)
-		m.acquiredAt = m.k.now
+		m.acquiredAt = t.Now()
 	}
 	return true
 }
@@ -112,7 +112,7 @@ func (m *Mutex) Unlock(t *Thread) {
 		panic("sim: unlock of mutex not held by caller")
 	}
 	if m.holdHist != nil {
-		m.holdHist.Observe(m.k.now - m.acquiredAt)
+		m.holdHist.Observe(t.Now() - m.acquiredAt)
 	}
 	if len(m.queue) == 0 {
 		m.owner = nil
@@ -123,7 +123,7 @@ func (m *Mutex) Unlock(t *Thread) {
 	m.owner = next
 	// Ownership transfers now; the waiter's hold time starts here even
 	// though it resumes via an event at the same virtual instant.
-	m.acquiredAt = m.k.now
+	m.acquiredAt = t.Now()
 	m.k.Wake(next)
 }
 

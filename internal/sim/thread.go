@@ -35,11 +35,15 @@ func (s threadState) String() string {
 	return "?"
 }
 
-// Thread is a simulated thread of execution. Exactly one thread (or the
-// kernel) runs at any real-time instant; threads advance virtual time only
-// via Sleep and blocking synchronization.
+// Thread is a simulated thread of execution. Within a lane, exactly one
+// thread (or the lane's event loop) runs at any real-time instant;
+// threads advance virtual time only via Sleep and blocking
+// synchronization. A thread is pinned to one lane for its whole life:
+// all of its scheduling stays lane-local, and cross-lane interaction
+// must go through Lane.Defer.
 type Thread struct {
 	k        *Kernel
+	ln       *Lane
 	Name     string
 	resume   chan struct{}
 	state    threadState
@@ -49,11 +53,25 @@ type Thread struct {
 }
 
 // Spawn creates a thread that begins executing fn at the current virtual
-// time (after already-scheduled same-time events).
+// time (after already-scheduled same-time events). On a multi-lane
+// kernel threads must be pinned explicitly; use SpawnOn.
 func (k *Kernel) Spawn(name string, fn func(*Thread)) *Thread {
-	t := &Thread{k: k, Name: name, resume: make(chan struct{})}
-	k.threads = append(k.threads, t)
-	k.live++
+	if k.multi {
+		panic("sim: Spawn on a multi-lane kernel; use SpawnOn")
+	}
+	return k.spawnOn(&k.Lane, name, fn)
+}
+
+// SpawnOn creates a thread pinned to lane ln, beginning at the lane's
+// current time. On a single-lane kernel, pass MainLane().
+func (k *Kernel) SpawnOn(ln *Lane, name string, fn func(*Thread)) *Thread {
+	return k.spawnOn(ln, name, fn)
+}
+
+func (k *Kernel) spawnOn(ln *Lane, name string, fn func(*Thread)) *Thread {
+	t := &Thread{k: k, ln: ln, Name: name, resume: make(chan struct{})}
+	ln.threads = append(ln.threads, t)
+	ln.live++
 	go func() {
 		<-t.resume
 		defer func() {
@@ -61,17 +79,31 @@ func (k *Kernel) Spawn(name string, fn func(*Thread)) *Thread {
 				t.panicked = &ThreadPanic{Thread: t.Name, Value: r, Stack: string(debug.Stack())}
 			}
 			t.state = stateDone
-			k.live--
-			k.yield <- struct{}{}
+			t.ln.live--
+			t.ln.yield <- struct{}{}
 		}()
 		fn(t)
 	}()
-	k.scheduleThread(0, t)
+	ln.scheduleThread(0, t)
+	// A spawn from outside any window (setup code, a coordinator event)
+	// may activate an idle lane; spawns from inside a window come from
+	// the lane's own threads, so the lane is already active and running.
+	if k.multi && ln != &k.Lane && !k.inWindow.Load() {
+		k.laneInserted = true
+		if !ln.active {
+			ln.active = true
+			k.activeLanes = append(k.activeLanes, ln)
+		}
+	}
 	return t
 }
 
 // Kernel returns the kernel this thread belongs to.
 func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Lane returns the lane this thread is pinned to (the kernel's base lane
+// on a single-lane kernel).
+func (t *Thread) Lane() *Lane { return t.ln }
 
 // SetObsTrack assigns the trace track kind this thread's run/block spans
 // are recorded under (default TrackOther). The spawner sets it before
@@ -82,12 +114,12 @@ func (t *Thread) SetObsTrack(kind obs.TrackKind) { t.track = kind }
 // ObsTrack returns the thread's trace track kind.
 func (t *Thread) ObsTrack() obs.TrackKind { return t.track }
 
-// Now returns the current virtual time.
-func (t *Thread) Now() Time { return t.k.now }
+// Now returns the current virtual time of the thread's lane.
+func (t *Thread) Now() Time { return t.ln.now }
 
-// switchOut yields to the kernel and blocks until resumed.
+// switchOut yields to the lane's event loop and blocks until resumed.
 func (t *Thread) switchOut() {
-	t.k.yield <- struct{}{}
+	t.ln.yield <- struct{}{}
 	<-t.resume
 }
 
@@ -102,13 +134,13 @@ func (t *Thread) Sleep(d Time) {
 		return
 	}
 	t.state = stateSleeping
-	k := t.k
-	if k.obs != nil {
+	ln := t.ln
+	if ln.obs != nil {
 		// Sleep models busy computation (and timed waits); record it as
 		// the thread's "run" span on its timeline.
-		k.obs.Span(t.track, t.Name, "run", k.now, k.now+d)
+		ln.obs.Span(t.track, t.Name, "run", ln.now, ln.now+d)
 	}
-	k.scheduleThread(d, t)
+	ln.scheduleThread(d, t)
 	t.switchOut()
 }
 
@@ -116,8 +148,7 @@ func (t *Thread) Sleep(d Time) {
 // same-time events.
 func (t *Thread) Yield() {
 	t.state = stateReady
-	k := t.k
-	k.scheduleThread(0, t)
+	t.ln.scheduleThread(0, t)
 	t.switchOut()
 }
 
@@ -126,31 +157,33 @@ func (t *Thread) Yield() {
 // running or sleeping makes the next Park return immediately, and multiple
 // Wakes coalesce. Callers must therefore re-check their condition in a loop.
 func (t *Thread) Park() {
-	if t.k.cur != t {
+	if t.ln.cur != t {
 		panic("sim: Park called from wrong context")
 	}
 	if t.wakeBit {
 		t.wakeBit = false
 		return
 	}
-	start := t.k.now
+	start := t.ln.now
 	t.state = stateParked
 	t.switchOut()
-	if t.k.obs != nil {
-		t.k.obs.Span(t.track, t.Name, "blocked", start, t.k.now)
+	if t.ln.obs != nil {
+		t.ln.obs.Span(t.track, t.Name, "blocked", start, t.ln.now)
 	}
 }
 
 // Wake unparks thread t (or arms its wake bit if it is not parked). Safe to
-// call from any simulation context: another thread or an event callback.
+// call from any simulation context within t's lane: another thread or an
+// event callback. Cross-lane wakes are forbidden — they must be carried
+// by a deferred operation into the target's lane first.
 func (k *Kernel) Wake(t *Thread) {
 	switch t.state {
 	case stateParked:
 		t.state = stateReady
-		if k.obs != nil {
-			k.obs.Instant(t.track, t.Name, "wake", k.now)
+		if t.ln.obs != nil {
+			t.ln.obs.Instant(t.track, t.Name, "wake", t.ln.now)
 		}
-		k.scheduleThread(0, t)
+		t.ln.scheduleThread(0, t)
 	case stateDone, stateReady:
 		// Nothing to do: thread finished, or a wake is already in flight.
 	default:

@@ -50,9 +50,9 @@ func TuneGC() {
 	gcOnce.Do(func() { debug.SetGCPercent(200) })
 }
 
-// Ctx is what a sweep task runs with: the run's isolated registry and
-// the executing worker's recycling pool. Attach both to a simulation
-// through Cfg.
+// Ctx is what a sweep task runs with: the run's isolated registry, the
+// executing worker's recycling pool, and the engine's intra-run shard
+// budget. Attach all of them to a simulation through Cfg.
 type Ctx struct {
 	// Reg is this run's private registry (nil when the engine has no
 	// parent registry). It must not outlive the task: the engine merges
@@ -61,14 +61,54 @@ type Ctx struct {
 	// Pool belongs to the worker executing the task and persists across
 	// tasks and Map calls.
 	Pool *armci.Pool
+	// Shards is the engine's per-run lane worker budget, forwarded to
+	// armci.Config.Shards (0 = default single-worker lane engine, -1 =
+	// the legacy single-queue engine). Purely an execution knob: shard
+	// count never changes a simulation's results.
+	Shards int
 }
 
-// Cfg attaches the run's registry and worker pool to a configuration —
-// the one-liner every harness builds its Config through.
+// Cfg attaches the run's registry, worker pool, and shard budget to a
+// configuration — the one-liner every harness builds its Config through.
 func (c *Ctx) Cfg(cfg armci.Config) armci.Config {
 	cfg.Obs = c.Reg
 	cfg.Pool = c.Pool
+	cfg.Shards = c.Shards
 	return cfg
+}
+
+// CoreBudget divides the machine's cores between sweep workers and
+// intra-run lane shards, so the two layers of parallelism compose
+// instead of multiplying: each concurrent simulation costs max(1,
+// shards) cores, and workers x that cost must not exceed GOMAXPROCS
+// (`-parallel 4` x `-shards 4` on a 4-core box resolves to 4x1, not 16
+// runnable goroutines thrashing 4 cores).
+//
+// workers <= 0 asks for as many sweep workers as the shard budget
+// leaves; shards 0 (default lane engine, one worker) and -1 (legacy
+// single-queue engine) both cost one core and pass through unchanged.
+// An explicit worker count is always honored — sweep workers are cheap
+// goroutines, and byte-identity at any worker count is a tested
+// contract — so only the multiplied shard budget shrinks to fit.
+func CoreBudget(workers, shards int) (int, int) {
+	p := runtime.GOMAXPROCS(0)
+	cost := shards
+	if cost < 1 {
+		cost = 1
+	}
+	if workers <= 0 {
+		workers = p / cost
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if shards > 0 && workers*shards > p {
+		shards = p / workers
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	return workers, shards
 }
 
 // Engine schedules sweep tasks over a fixed worker count. An Engine is
@@ -76,6 +116,7 @@ func (c *Ctx) Cfg(cfg armci.Config) armci.Config {
 // on one engine must not overlap.
 type Engine struct {
 	workers int
+	shards  int
 	parent  *obs.Registry
 	pools   []*armci.Pool
 }
@@ -85,15 +126,27 @@ type Engine struct {
 // no observability). Construction fixes the process GC posture via
 // TuneGC.
 func New(workers int, parent *obs.Registry) *Engine {
+	return NewSharded(workers, 0, parent)
+}
+
+// NewSharded is New with an intra-run shard budget: every simulation the
+// engine runs executes on that many parallel lane workers
+// (armci.Config.Shards). The (workers, shards) pair is resolved through
+// CoreBudget, so the combined goroutine count never oversubscribes
+// GOMAXPROCS.
+func NewSharded(workers, shards int, parent *obs.Registry) *Engine {
 	TuneGC()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Engine{workers: workers, parent: parent, pools: make([]*armci.Pool, workers)}
+	workers, shards = CoreBudget(workers, shards)
+	return &Engine{workers: workers, shards: shards, parent: parent,
+		pools: make([]*armci.Pool, workers)}
 }
 
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Shards returns the per-run lane worker budget after CoreBudget
+// resolution.
+func (e *Engine) Shards() int { return e.shards }
 
 func (e *Engine) pool(w int) *armci.Pool {
 	if e.pools[w] == nil {
@@ -155,7 +208,7 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 		workers = n
 	}
 	if workers <= 1 {
-		c := &Ctx{Pool: e.pool(0)}
+		c := &Ctx{Pool: e.pool(0), Shards: e.shards}
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				return out
@@ -175,7 +228,7 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c := &Ctx{Pool: e.pool(w)}
+			c := &Ctx{Pool: e.pool(w), Shards: e.shards}
 			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
