@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep race-shards serve-smoke live-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep race-shards serve-smoke live-smoke compose-smoke figures report scf clean
 
 all: vet test
 
@@ -93,6 +93,14 @@ serve-smoke:
 # synchronous bytes; SIGTERM must drain attached streams cleanly.
 live-smoke:
 	sh scripts/live-smoke.sh
+
+# Composition gate: a two-phase composed spec (halo + faulted fetchadd)
+# posted to fresh simd servers at every workers x shards combination in
+# {1,4} x {1,4} — cold vs cached bytes identical per server, artifacts
+# identical across all servers, and the offline `armci-bench -compose`
+# render identical to what the servers cached.
+compose-smoke:
+	sh scripts/compose-smoke.sh
 
 # Regenerate every figure/table at full scale into results/.
 figures:

@@ -15,18 +15,25 @@
 //	armci-bench -chaos -chaos-seed 7
 //	armci-bench -parallel 1      # force a fully serial sweep (output is
 //	                             # byte-identical at any -parallel value)
+//	armci-bench -compose spec.json
+//	                             # run a scenario-composition spec ("-"
+//	                             # reads stdin) instead of a figure
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 	chaos := flag.Bool("chaos", false,
 		"run the Fig 9 workload under the scripted fault plan (exercises retry/recovery)")
 	chaosSeed := flag.Uint64("chaos-seed", 42, "seed for the -chaos fault plan and jitter")
+	composePath := flag.String("compose", "",
+		"run a scenario-composition spec (JSON file, - for stdin) instead of a figure")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"sweep worker count (1 = serial); output is byte-identical at any value")
 	shards := flag.Int("shards", 0,
@@ -83,6 +92,12 @@ func main() {
 		} else {
 			g.Render(os.Stdout)
 		}
+	}
+
+	if *composePath != "" {
+		runCompose(ctx, *composePath, *csv)
+		writeObs(reg, *tracePath, *metricsPath)
+		return
 	}
 
 	if *chaos {
@@ -142,6 +157,58 @@ func main() {
 	}
 
 	writeObs(reg, *tracePath, *metricsPath)
+}
+
+// runCompose parses a composition spec, runs it on the harness engine
+// (so -parallel/-shards/-trace apply), and renders the artifact. Both
+// the bare spec and the POST /v1/compose request envelope
+// ({"compose": <spec>, ...}) are accepted, so a server request body
+// replays offline unchanged; the output is byte-identical to what a
+// simd server caches for the same spec.
+func runCompose(ctx context.Context, path string, csv bool) {
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "armci-bench: compose: %v\n", err)
+		os.Exit(1)
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	var env struct {
+		Compose json.RawMessage `json:"compose"`
+	}
+	if json.Unmarshal(raw, &env) == nil && len(env.Compose) > 0 && string(env.Compose) != "null" {
+		raw = env.Compose
+	}
+	sp, err := scenario.Parse(bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	runCtx, eng := bench.Harness()
+	res, err := scenario.Run(runCtx, eng, sp)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "armci-bench: interrupted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	format := "text"
+	if csv {
+		format = "csv"
+	}
+	if err := res.Render(os.Stdout, format); err != nil {
+		fatal(err)
+	}
 }
 
 // writeObs dumps the registry's trace and metrics to the requested files.

@@ -3,10 +3,17 @@
 // control, and a live observability plane (see internal/serve).
 //
 //	simd -addr :8080 &
-//	curl -d '{"scenario":"fig9"}' localhost:8080/run
-//	curl -d '{"scenario":"chaos"}' localhost:8080/runs       # async submit
-//	curl -N localhost:8080/runs/<id>/events                  # SSE live attach
+//	curl localhost:8080/v1/scenarios                   # catalog + param schemas
+//	curl -d '{"scenario":"fig9"}' localhost:8080/v1/run
+//	curl -d '{"compose":{"phases":[{"pattern":"halo"},{"pattern":"fetchadd"}]}}' \
+//	     localhost:8080/v1/compose                     # composed multi-phase job
+//	curl -d '{"scenario":"chaos"}' localhost:8080/v1/runs    # async submit
+//	curl -N localhost:8080/v1/runs/<id>/events               # SSE live attach
 //	curl localhost:8080/metrics
+//
+// The HTTP surface is versioned under /v1/; the original unversioned
+// paths still work but answer with a Deprecation header pointing at
+// their /v1 successor (see DESIGN.md for the wire contract).
 //
 // -log enables structured request logging on stderr; -debug-addr starts
 // a second listener serving net/http/pprof (kept off the service port so

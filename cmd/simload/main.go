@@ -3,6 +3,10 @@
 // contract — cached responses are byte-identical to cold ones — while
 // reporting throughput, latency, and cache hit ratio.
 //
+// Job bodies are not hard-coded: simload introspects GET /v1/scenarios
+// and derives each config from the advertised parameter schema, so it
+// exercises whatever the daemon actually serves.
+//
 // Phase 1 (cold): every distinct key is requested once, populating the
 // cache. Phase 2 (skew): -n requests are drawn with a hot-key bias
 // (probability -hot goes to key 0), the regime a result cache exists
@@ -11,9 +15,12 @@
 //	simload -addr 127.0.0.1:8080 -c 4 -n 200 -keys 8 -hot 0.8
 //
 // With -attach > 0, that fraction of cold-phase keys is additionally
-// submitted asynchronously (POST /runs) and followed over the SSE live
-// stream; the run's streamed result chunks must reassemble to exactly
-// the bytes the synchronous endpoint returns.
+// submitted asynchronously (POST /v1/runs) and followed over the SSE
+// live stream; the run's streamed result chunks must reassemble to
+// exactly the bytes the synchronous endpoint returns. With -compose
+// (default on), a two-phase composition spec is posted to
+// POST /v1/compose three ways — cold, cached, and respelled — and all
+// three responses must be byte-identical under one config hash.
 //
 // Exit status is nonzero on any transport error, HTTP error status,
 // byte mismatch against the cold copy, a streamed-artifact mismatch, or
@@ -44,30 +51,116 @@ type key struct {
 	body string // JSON job config
 }
 
-// keys builds nkeys distinct job configs cycling over the requested
-// scenarios, made unique via the iters/ops_each parameter so every key
-// is a different cache entry.
-func buildKeys(scenarios []string, nkeys int) []key {
+// catalogEntry mirrors one GET /v1/scenarios listing row — the part of
+// the self-description simload consumes.
+type catalogEntry struct {
+	Name     string         `json:"name"`
+	Kind     string         `json:"kind"`
+	Params   []catalogParam `json:"params"`
+	Defaults map[string]any `json:"defaults"`
+}
+
+type catalogParam struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Default any    `json:"default"`
+	Min     int64  `json:"min"`
+	Max     int64  `json:"max"`
+}
+
+// fetchCatalog introspects the daemon's scenario catalog, keyed by
+// name. Only kind "scenario" entries are load-generation targets; the
+// composition patterns are exercised through checkCompose.
+func fetchCatalog(client *http.Client, base string) (map[string]catalogEntry, error) {
+	resp, err := client.Get(base + "/v1/scenarios")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/scenarios: HTTP %d", resp.StatusCode)
+	}
+	var entries []catalogEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("GET /v1/scenarios: %w", err)
+	}
+	out := make(map[string]catalogEntry, len(entries))
+	for _, e := range entries {
+		if e.Kind == "scenario" {
+			out[e.Name] = e
+		}
+	}
+	return out, nil
+}
+
+// asInt converts a decoded-JSON number (float64) to int64.
+func asInt(v any) int64 {
+	f, _ := v.(float64)
+	return int64(f)
+}
+
+// asIntList converts a decoded-JSON array to []int64, trimmed to at
+// most two entries so cold-phase simulations stay fast.
+func asIntList(v any) []int64 {
+	l, _ := v.([]any)
+	if len(l) > 2 {
+		l = l[:2]
+	}
+	out := make([]int64, 0, len(l))
+	for _, e := range l {
+		out = append(out, asInt(e))
+	}
+	return out
+}
+
+// buildKeys builds nkeys distinct job configs cycling over the
+// requested scenarios, deriving each body from the catalog's parameter
+// schema instead of hard-coded spellings: list parameters take the
+// server default trimmed to its smallest points, and the first scalar
+// parameter is bumped per cycle so every key is a different cache
+// entry.
+func buildKeys(catalog map[string]catalogEntry, scenarios []string, nkeys int) []key {
 	out := make([]key, 0, nkeys)
 	for k := 0; k < nkeys; k++ {
 		sc := scenarios[k%len(scenarios)]
-		var body string
-		switch sc {
-		case "micro":
-			body = fmt.Sprintf(`{"scenario":"micro","params":{"sizes":[64,256],"iters":%d}}`, 1+k/len(scenarios))
-		case "amo":
-			body = fmt.Sprintf(`{"scenario":"amo","params":{"procs":[2,4],"ops_each":%d}}`, 4+k/len(scenarios))
-		case "fig9":
-			body = fmt.Sprintf(`{"scenario":"fig9","params":{"procs":[2,4],"ops_each":%d}}`, 4+k/len(scenarios))
-		case "chaos":
-			body = fmt.Sprintf(`{"scenario":"chaos","params":{"procs":[4],"ops_each":4,"seed":%d}}`, 41+k/len(scenarios))
-		case "tableii":
-			body = `{"scenario":"tableii"}`
-		default:
-			fmt.Fprintf(os.Stderr, "simload: unsupported scenario %q\n", sc)
+		e, ok := catalog[sc]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "simload: scenario %q not in the /v1/scenarios catalog\n", sc)
 			os.Exit(2)
 		}
-		out = append(out, key{name: sc, body: body})
+		params := map[string]any{}
+		varied := false
+		for _, p := range e.Params {
+			def := p.Default
+			if d, ok := e.Defaults[p.Name]; ok {
+				def = d
+			}
+			switch p.Type {
+			case "int_list":
+				params[p.Name] = asIntList(def)
+			case "int", "uint":
+				v := asInt(def)
+				if !varied {
+					v += int64(k / len(scenarios))
+					if p.Max > 0 && v > p.Max {
+						v = p.Max
+					}
+					varied = true
+				}
+				params[p.Name] = v
+			}
+			// bool parameters keep their server-side default.
+		}
+		cfg := map[string]any{"scenario": sc}
+		if len(params) > 0 {
+			cfg["params"] = params
+		}
+		body, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simload: marshal %s config: %v\n", sc, err)
+			os.Exit(2)
+		}
+		out = append(out, key{name: sc, body: string(body)})
 	}
 	return out
 }
@@ -76,7 +169,7 @@ func buildKeys(scenarios []string, nkeys int) []key {
 // stream, and reassembles the artifact from its result chunks. Returns
 // the reassembled bytes (nil with an error on any protocol violation).
 func attachRun(client *http.Client, base, body string) ([]byte, error) {
-	resp, err := client.Post(base+"/runs", "application/json", strings.NewReader(body))
+	resp, err := client.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
@@ -89,7 +182,7 @@ func attachRun(client *http.Client, base, body string) ([]byte, error) {
 		return nil, fmt.Errorf("submit: bad response (status %d, err %v)", resp.StatusCode, err)
 	}
 
-	stream, err := client.Get(base + "/runs/" + info.ID + "/events")
+	stream, err := client.Get(base + "/v1/runs/" + info.ID + "/events")
 	if err != nil {
 		return nil, fmt.Errorf("attach: %w", err)
 	}
@@ -156,6 +249,67 @@ func attachRun(client *http.Client, base, body string) ([]byte, error) {
 	return artifact, nil
 }
 
+// checkCompose verifies the composition endpoint end to end: a
+// two-phase spec (a promoted halo pattern plus the Fig 9 fetch-and-add
+// figure pattern) posted twice must come back byte-identical with the
+// second response served from cache, and a respelled-but-equivalent
+// spelling of the same spec must canonicalize to the same config hash
+// and bytes.
+func checkCompose(client *http.Client, base string) error {
+	const spec = `{"compose":{"phases":[
+		{"pattern":"halo","params":{"tiles_x":2,"tiles_y":1,"tile_n":8,"iters":2},
+		 "topology":{"per_node":2},"engine":{"mode":"async"}},
+		{"pattern":"fetchadd","params":{"ops_each":2},
+		 "topology":{"procs":[4],"per_node":4}}]}}`
+	// Same scenario, different surface syntax: reordered keys, the
+	// default engine mode and output format spelled out explicitly.
+	const respelled = `{"format":"csv","compose":{"version":1,"phases":[
+		{"engine":{"mode":"async"},"topology":{"per_node":2},
+		 "params":{"iters":2,"tile_n":8,"tiles_y":1,"tiles_x":2},"pattern":"halo"},
+		{"topology":{"per_node":4,"procs":[4]},"engine":{"mode":"both"},
+		 "params":{"ops_each":2},"pattern":"fetchadd"}]}}`
+	post := func(body string) (artifact []byte, hash, cache string, err error) {
+		resp, err := client.Post(base+"/v1/compose", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, "", "", err
+		}
+		defer resp.Body.Close()
+		artifact, _ = io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(artifact))
+		}
+		return artifact, resp.Header.Get("X-Config-Hash"), resp.Header.Get("X-Cache"), nil
+	}
+	cold, hash, _, err := post(spec)
+	if err != nil {
+		return fmt.Errorf("cold: %w", err)
+	}
+	cached, _, src, err := post(spec)
+	if err != nil {
+		return fmt.Errorf("cached: %w", err)
+	}
+	if src != "hit" {
+		return fmt.Errorf("second request not served from cache (X-Cache %q)", src)
+	}
+	if !bytes.Equal(cold, cached) {
+		return fmt.Errorf("cached artifact differs from cold (sha %x vs %x)",
+			sha256.Sum256(cached), sha256.Sum256(cold))
+	}
+	re, reHash, _, err := post(respelled)
+	if err != nil {
+		return fmt.Errorf("respelled: %w", err)
+	}
+	if reHash != hash {
+		return fmt.Errorf("respelled spec hashed %s, want %s", reHash, hash)
+	}
+	if !bytes.Equal(re, cold) {
+		return fmt.Errorf("respelled artifact differs from cold (sha %x vs %x)",
+			sha256.Sum256(re), sha256.Sum256(cold))
+	}
+	fmt.Printf("compose  two-phase spec cold/cached/respelled byte-identical (config %.12s)\n", hash)
+	return nil
+}
+
 // attachOutcome is one live-attach verification result.
 type attachOutcome struct {
 	body []byte
@@ -215,6 +369,8 @@ func main() {
 	minHitRatio := flag.Float64("min-hit-ratio", -1, "fail if the skew-phase hit ratio is below this (<0 disables)")
 	checkMetrics := flag.Bool("check-metrics", false, "fetch /metrics afterwards and assert serving metrics are present")
 	attach := flag.Float64("attach", 0, "fraction of cold-phase keys also followed over the SSE live stream")
+	compose := flag.Bool("compose", true,
+		"also verify POST /v1/compose: cold/cached/respelled responses must be byte-identical")
 	flag.Parse()
 
 	base := "http://" + *addr
@@ -237,14 +393,26 @@ func main() {
 		time.Sleep(100 * time.Millisecond)
 	}
 
-	keys := buildKeys(strings.Split(*scenarioList, ","), *nkeys)
+	catalog, err := fetchCatalog(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simload: %v\n", err)
+		os.Exit(1)
+	}
+	keys := buildKeys(catalog, strings.Split(*scenarioList, ","), *nkeys)
 	golden := make([][]byte, len(keys)) // cold-phase bodies, the byte-identity reference
 	failed := atomic.Bool{}
+
+	if *compose {
+		if err := checkCompose(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "simload: compose: %v\n", err)
+			failed.Store(true)
+		}
+	}
 
 	var do func(k int, st *stats)
 	do = func(k int, st *stats) {
 		t0 := time.Now()
-		resp, err := client.Post(base+"/run", "application/json", strings.NewReader(keys[k].body))
+		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(keys[k].body))
 		if err != nil {
 			atomic.AddInt64(&st.errs, 1)
 			failed.Store(true)
@@ -301,7 +469,7 @@ func main() {
 			}
 
 			t0 := time.Now()
-			resp, err := client.Post(base+"/run", "application/json", strings.NewReader(keys[k].body))
+			resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(keys[k].body))
 			if err != nil {
 				atomic.AddInt64(&coldStats.errs, 1)
 				failed.Store(true)

@@ -1,132 +1,66 @@
-// Distributed matrix multiply C = A x B over Global Arrays — the paper's
-// §III.E motivating workload. Each task overlaps non-blocking gets of A
-// and B tiles with accumulates into C; because A/B are read-only and C is
-// write-only, per-region (cs_mr) conflict tracking should never fence,
-// while the naive per-target scheme (cs_tgt) fences constantly.
+// Distributed matrix multiply C = A x B over Global Arrays — the
+// paper's §III.E motivating workload, expressed as a composition spec.
+// Each task overlaps non-blocking gets of A and B tiles with
+// accumulates into C; because A/B are read-only and C is write-only,
+// per-region (cs_mr) conflict tracking should never fence, while the
+// naive per-target scheme (cs_tgt) fences constantly. The product is
+// verified against a serial reference (small integer values, so the
+// comparison is exact).
 //
-// The example runs both modes, verifies the product against a serial
-// reference (the values are small integers, so the comparison is exact),
-// and prints the fence counts and timings.
+// The multiply itself lives in the pattern registry (internal/bench,
+// pattern "dgemm"); this driver is a thin client of the scenario DSL —
+// the same spec runs byte-identically here, under `armci-bench
+// -compose`, and through a simd server's POST /v1/compose.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strings"
 
-	"repro/internal/armci"
-	"repro/internal/core"
-	"repro/internal/ga"
-	"repro/internal/sim"
+	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
-const (
-	n     = 48 // matrix dimension
-	tile  = 12 // tile dimension
-	procs = 4
-)
-
-func aVal(r, c int) float64 { return float64((r*7 + c*3) % 5) }
-func bVal(r, c int) float64 { return float64((r*2 + c*5) % 7) }
-
-func run(mode armci.ConsistencyMode, name string) {
-	cfg := core.AsyncThread(procs)
-	cfg.ProcsPerNode = 4
-	cfg.Consistency = mode
-
-	var elapsed sim.Time
-	var fences, avoided int64
-	w := core.MustRun(cfg, func(p *core.Proc) {
-		rt, th := p.RT, p.Th
-		A := ga.Create(th, rt, "A", n, n)
-		B := ga.Create(th, rt, "B", n, n)
-		C := ga.Create(th, rt, "C", n, n)
-		counter := ga.NewCounter(th, rt)
-
-		// Initialize A and B from their owners.
-		fill := func(arr *ga.Array, f func(r, c int) float64) {
-			r0, c0, r1, c1, ok := arr.OwnBlock()
-			if !ok {
-				return
-			}
-			vals := make([]float64, (r1-r0)*(c1-c0))
-			for r := r0; r < r1; r++ {
-				for c := c0; c < c1; c++ {
-					vals[(r-r0)*(c1-c0)+(c-c0)] = f(r, c)
-				}
-			}
-			arr.Put(th, r0, c0, r1, c1, vals)
-		}
-		fill(A, aVal)
-		fill(B, bVal)
-		C.Fill(th, 0)
-		A.Sync(th)
-
-		start := th.Now()
-		tiles := n / tile
-		ntasks := tiles * tiles
-		for {
-			t := counter.Next(th)
-			if t >= int64(ntasks) {
-				break
-			}
-			ti, tj := int(t)/tiles, int(t)%tiles
-			r0, c0 := ti*tile, tj*tile
-			acc := make([]float64, tile*tile)
-			for k := 0; k < tiles; k++ {
-				// Reads of A and B overlap the in-flight accumulate to C
-				// from the previous k — the §III.E pattern.
-				at := A.Get(th, r0, 0+k*tile, r0+tile, (k+1)*tile)
-				bt := B.Get(th, k*tile, c0, (k+1)*tile, c0+tile)
-				th.Sleep(sim.Time(tile * tile * tile)) // ~1 flop/ns
-				for i := 0; i < tile; i++ {
-					for j := 0; j < tile; j++ {
-						s := 0.0
-						for kk := 0; kk < tile; kk++ {
-							s += at[i*tile+kk] * bt[kk*tile+j]
-						}
-						acc[i*tile+j] += s
-					}
-				}
-			}
-			C.Acc(th, r0, c0, r0+tile, c0+tile, acc, 1.0)
-		}
-		C.Sync(th)
-		if th.Now()-start > elapsed {
-			elapsed = th.Now() - start
-		}
-
-		if p.Rank == 0 {
-			got := C.Get(th, 0, 0, n, n)
-			bad := 0
-			for r := 0; r < n; r++ {
-				for c := 0; c < n; c++ {
-					want := 0.0
-					for k := 0; k < n; k++ {
-						want += aVal(r, k) * bVal(k, c)
-					}
-					if got[r*n+c] != want {
-						bad++
-					}
-				}
-			}
-			if bad != 0 {
-				fmt.Printf("%s: RESULT WRONG: %d mismatching elements\n", name, bad)
-			} else {
-				fmt.Printf("%s: C = A*B verified exactly (%dx%d)\n", name, n, n)
-			}
-		}
-		C.Sync(th)
-	})
-
-	for _, rt := range w.Runtimes {
-		fences += rt.Stats.Get("conflict.fence")
-		avoided += rt.Stats.Get("conflict.avoided")
-	}
-	fmt.Printf("%s: time %s, conflict fences %d, false positives avoided %d\n\n",
-		name, sim.FormatTime(elapsed), fences, avoided)
-}
+// spec mirrors the original standalone example: a 48x48 multiply in
+// 12x12 tiles on 4 ranks, run under both consistency schemes.
+const spec = `{
+  "phases": [
+    {
+      "pattern": "dgemm",
+      "params": {"n": 48, "tile": 12},
+      "topology": {"procs": [4], "per_node": 4},
+      "engine": {"consistency": "both"}
+    }
+  ]
+}`
 
 func main() {
-	fmt.Printf("dgemm %dx%d on %d ranks, tiles of %d\n\n", n, n, procs, tile)
-	run(armci.ConsistencyNaive, "naive cs_tgt    ")
-	run(armci.ConsistencyPerRegion, "per-region cs_mr")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the text table")
+	show := flag.Bool("spec", false, "print the composition spec and exit")
+	flag.Parse()
+	if *show {
+		fmt.Println(spec)
+		return
+	}
+	sp, err := scenario.Parse(strings.NewReader(spec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgemm:", err)
+		os.Exit(1)
+	}
+	ctx, eng := bench.Harness()
+	res, err := scenario.Run(ctx, eng, sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgemm:", err)
+		os.Exit(1)
+	}
+	format := "text"
+	if *csv {
+		format = "csv"
+	}
+	if err := res.Render(os.Stdout, format); err != nil {
+		fmt.Fprintln(os.Stderr, "dgemm:", err)
+		os.Exit(1)
+	}
 }

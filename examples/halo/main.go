@@ -1,131 +1,64 @@
-// Halo exchange: a 2-D Jacobi stencil where each rank owns a tile of the
-// global grid and, every iteration, writes its boundary rows/columns into
-// its neighbors' ghost regions with one-sided strided puts — the classic
-// PGAS alternative to message-passing halo exchange. Row halos are
-// contiguous (RDMA fast path); column halos are strided with an 8-byte
-// chunk (the tall-skinny typed path), so the example exercises both
-// §III.C protocols and prints which carried the traffic.
+// Halo exchange, expressed as a composition spec: a 2-D Jacobi stencil
+// where each rank owns a tile of the global grid and, every iteration,
+// writes its boundary rows/columns into its neighbors' ghost regions
+// with one-sided strided puts. Row halos are contiguous (RDMA fast
+// path); column halos are strided with an 8-byte chunk (the tall-skinny
+// typed path), so the run exercises both §III.C protocols.
+//
+// The stencil itself lives in the pattern registry (internal/bench,
+// pattern "halo"); this driver is a thin client of the scenario DSL —
+// the same spec runs byte-identically here, under `armci-bench
+// -compose`, and through a simd server's POST /v1/compose.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"math"
+	"os"
+	"strings"
 
-	"repro/internal/armci"
-
-	"repro/internal/core"
-	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
-const (
-	tilesX, tilesY = 4, 2 // process grid
-	tileN          = 32   // interior cells per side
-	iters          = 20
-)
-
-// Local layout: (tileN+2)^2 float64s, ghost border included, row-major.
-const ld = tileN + 2
-
-func idx(r, c int) int { return r*ld + c }
+// spec mirrors the original standalone example: a 4x2 process grid of
+// 32-cell tiles, 20 Jacobi iterations, asynchronous-thread progress.
+const spec = `{
+  "phases": [
+    {
+      "pattern": "halo",
+      "params": {"tiles_x": 4, "tiles_y": 2, "tile_n": 32, "iters": 20},
+      "topology": {"per_node": 16},
+      "engine": {"mode": "async"}
+    }
+  ]
+}`
 
 func main() {
-	procs := tilesX * tilesY
-	var converged float64
-	w := core.MustRun(core.AsyncThread(procs), func(p *core.Proc) {
-		rt, th := p.RT, p.Th
-		tx, ty := p.Rank%tilesX, p.Rank/tilesX
-
-		grid := rt.Malloc(th, ld*ld*mem.Float64Size)
-		next := make([]float64, ld*ld)
-		cur := make([]float64, ld*ld)
-
-		// Dirichlet boundary: the global left edge is hot (1.0).
-		if tx == 0 {
-			for r := 0; r < ld; r++ {
-				cur[idx(r, 0)] = 1.0
-			}
-		}
-		rt.Space().WriteFloat64s(grid.At(p.Rank).Addr, cur)
-		rt.Barrier(th)
-
-		neighbor := func(dx, dy int) int {
-			nx, ny := tx+dx, ty+dy
-			if nx < 0 || nx >= tilesX || ny < 0 || ny >= tilesY {
-				return -1
-			}
-			return ny*tilesX + nx
-		}
-		base := func(rank int) mem.Addr { return grid.At(rank).Addr }
-		gp := func(rank, i int) armci.GlobalPtr {
-			return grid.At(rank).Add(i * mem.Float64Size)
-		}
-
-		scratch := rt.LocalAlloc(th, ld*mem.Float64Size)
-		for it := 0; it < iters; it++ {
-			// Push boundary data into neighbor ghost regions.
-			if n := neighbor(0, -1); n >= 0 { // my top row -> their bottom ghost
-				rt.Space().WriteFloat64s(scratch, cur[idx(1, 1):idx(1, tileN+1)])
-				rt.Put(th, scratch, gp(n, idx(tileN+1, 1)), tileN*mem.Float64Size)
-			}
-			if n := neighbor(0, 1); n >= 0 { // bottom row -> their top ghost
-				rt.Space().WriteFloat64s(scratch, cur[idx(tileN, 1):idx(tileN, tileN+1)])
-				rt.Put(th, scratch, gp(n, idx(0, 1)), tileN*mem.Float64Size)
-			}
-			if n := neighbor(-1, 0); n >= 0 { // left column -> their right ghost
-				col := make([]float64, tileN)
-				for r := 0; r < tileN; r++ {
-					col[r] = cur[idx(r+1, 1)]
-				}
-				rt.Space().WriteFloat64s(scratch, col)
-				rt.PutS(th, scratch, []int{mem.Float64Size},
-					gp(n, idx(1, tileN+1)), []int{ld * mem.Float64Size},
-					[]int{mem.Float64Size, tileN})
-			}
-			if n := neighbor(1, 0); n >= 0 { // right column -> their left ghost
-				col := make([]float64, tileN)
-				for r := 0; r < tileN; r++ {
-					col[r] = cur[idx(r+1, tileN)]
-				}
-				rt.Space().WriteFloat64s(scratch, col)
-				rt.PutS(th, scratch, []int{mem.Float64Size},
-					gp(n, idx(1, 0)), []int{ld * mem.Float64Size},
-					[]int{mem.Float64Size, tileN})
-			}
-			rt.AllFence(th)
-			rt.Barrier(th)
-
-			// Jacobi sweep over the interior, reading ghosts from the
-			// shared tile.
-			rt.Space().ReadFloat64s(base(p.Rank), cur)
-			var delta float64
-			for r := 1; r <= tileN; r++ {
-				for c := 1; c <= tileN; c++ {
-					v := 0.25 * (cur[idx(r-1, c)] + cur[idx(r+1, c)] +
-						cur[idx(r, c-1)] + cur[idx(r, c+1)])
-					next[idx(r, c)] = v
-					delta += math.Abs(v - cur[idx(r, c)])
-				}
-			}
-			// Preserve ghosts/boundary, install the interior.
-			for r := 1; r <= tileN; r++ {
-				copy(cur[idx(r, 1):idx(r, tileN+1)], next[idx(r, 1):idx(r, tileN+1)])
-			}
-			rt.Space().WriteFloat64s(base(p.Rank), cur)
-			th.Sleep(sim.Time(tileN * tileN)) // ~1 ns per cell of compute
-			total := rt.AllReduceSum(th, delta)
-			if p.Rank == 0 && (it == 0 || it == iters-1) {
-				fmt.Printf("iter %2d: global residual %.6f @ %s\n",
-					it, total, sim.FormatTime(p.Now()))
-			}
-			converged = total
-			rt.Barrier(th)
-		}
-	})
-
-	agg := w.AggregateStats()
-	fmt.Printf("\nfinal residual %.6f after %d iterations\n", converged, iters)
-	fmt.Printf("row halos via RDMA puts: %d; column halos via typed strided: %d\n",
-		agg["put.rdma"], agg["strided.typed"])
-	fmt.Printf("simulated time: %s on %v\n", sim.FormatTime(w.K.Now()), w.M.Net.Torus())
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the text table")
+	show := flag.Bool("spec", false, "print the composition spec and exit")
+	flag.Parse()
+	if *show {
+		fmt.Println(spec)
+		return
+	}
+	sp, err := scenario.Parse(strings.NewReader(spec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halo:", err)
+		os.Exit(1)
+	}
+	ctx, eng := bench.Harness()
+	res, err := scenario.Run(ctx, eng, sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halo:", err)
+		os.Exit(1)
+	}
+	format := "text"
+	if *csv {
+		format = "csv"
+	}
+	if err := res.Render(os.Stdout, format); err != nil {
+		fmt.Fprintln(os.Stderr, "halo:", err)
+		os.Exit(1)
+	}
 }

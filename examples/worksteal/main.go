@@ -1,80 +1,63 @@
 // Dynamic load balancing with a shared counter — the NWChem pattern of
-// §III.D/§IV.B.3. A pool of unequal tasks is handed out by fetch-and-add
-// on a rank-0 counter; the example runs the same pool with Default and
-// Asynchronous-Thread progress and prints the wall time, counter-wait
-// share, and load balance achieved by each.
+// §III.D/§IV.B.3, expressed as a composition spec. A pool of unequal
+// tasks is handed out by fetch-and-add on a rank-0 counter; the run
+// compares Default and Asynchronous-Thread progress on wall time,
+// counter-wait share, and load balance.
+//
+// The task pool itself lives in the pattern registry (internal/bench,
+// pattern "worksteal"); this driver is a thin client of the scenario
+// DSL — the same spec runs byte-identically here, under `armci-bench
+// -compose`, and through a simd server's POST /v1/compose.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/ga"
-	"repro/internal/sim"
+	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
-const (
-	procs  = 16
-	ntasks = 256
-)
-
-// taskCost is deliberately skewed: a few heavy tasks among many light
-// ones, the classic reason static partitioning loses to work sharing.
-func taskCost(t int) sim.Time {
-	if t%17 == 0 {
-		return 900 * sim.Microsecond
-	}
-	return sim.Time(50+(t*37)%200) * sim.Microsecond
-}
-
-func run(async bool, name string) {
-	cfg := core.Default(procs)
-	cfg.AsyncThread = async
-
-	done := make([]int, procs)
-	wait := make([]sim.Time, procs)
-	var wall sim.Time
-	core.MustRun(cfg, func(p *core.Proc) {
-		rt, th := p.RT, p.Th
-		counter := ga.NewCounter(th, rt)
-		start := th.Now()
-		for {
-			t0 := th.Now()
-			t := counter.Next(th)
-			wait[p.Rank] += th.Now() - t0
-			if t >= ntasks {
-				break
-			}
-			done[p.Rank]++
-			th.Sleep(taskCost(int(t))) // compute: no progress in D mode
-		}
-		rt.Barrier(th)
-		if th.Now()-start > wall {
-			wall = th.Now() - start
-		}
-	})
-
-	minT, maxT := done[0], done[0]
-	var totalWait sim.Time
-	for r := 0; r < procs; r++ {
-		if done[r] < minT {
-			minT = done[r]
-		}
-		if done[r] > maxT {
-			maxT = done[r]
-		}
-		totalWait += wait[r]
-	}
-	fmt.Printf("%-14s wall %-10s tasks/rank min %d max %d, mean counter wait %s\n",
-		name, sim.FormatTime(wall), minT, maxT,
-		sim.FormatTime(totalWait/sim.Time(procs*((ntasks+procs-1)/procs+1))))
-}
+// spec mirrors the original standalone example: 256 skewed tasks over
+// 16 ranks, run under both progress modes.
+const spec = `{
+  "phases": [
+    {
+      "pattern": "worksteal",
+      "params": {"tasks": 256},
+      "topology": {"procs": [16], "per_node": 16},
+      "engine": {"mode": "both"}
+    }
+  ]
+}`
 
 func main() {
-	fmt.Printf("work sharing: %d skewed tasks over %d ranks, counter on rank 0\n\n", ntasks, procs)
-	run(false, "default (D)")
-	run(true, "async (AT)")
-	fmt.Println("\nthe async thread keeps the counter responsive while every core")
-	fmt.Println("computes; in default mode each request waits for rank 0 to re-enter")
-	fmt.Println("the progress engine between its own tasks.")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the text table")
+	show := flag.Bool("spec", false, "print the composition spec and exit")
+	flag.Parse()
+	if *show {
+		fmt.Println(spec)
+		return
+	}
+	sp, err := scenario.Parse(strings.NewReader(spec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worksteal:", err)
+		os.Exit(1)
+	}
+	ctx, eng := bench.Harness()
+	res, err := scenario.Run(ctx, eng, sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worksteal:", err)
+		os.Exit(1)
+	}
+	format := "text"
+	if *csv {
+		format = "csv"
+	}
+	if err := res.Render(os.Stdout, format); err != nil {
+		fmt.Fprintln(os.Stderr, "worksteal:", err)
+		os.Exit(1)
+	}
 }

@@ -76,6 +76,12 @@ func SetContext(ctx context.Context) {
 	runCtx = ctx
 }
 
+// Harness exposes the package context and engine for drivers that run
+// engine-explicit cores directly (the scenario composition layer), so a
+// composed run honors the same -parallel/-shards/-trace settings as the
+// figure sweeps.
+func Harness() (context.Context, *sweep.Engine) { return setup() }
+
 // setup returns the current context and sweep engine, building the
 // engine on first use or after a SetObs/SetParallel change.
 func setup() (context.Context, *sweep.Engine) {

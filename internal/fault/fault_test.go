@@ -18,13 +18,13 @@ func TestPlanValidate(t *testing.T) {
 	}
 
 	bad := []*Plan{
-		NewPlan(1).LinkDown(8, 0, 10),              // link out of range
-		NewPlan(1).NodeDown(-2, 0, 10),             // node out of range (not Any)
-		NewPlan(1).LinkSlow(0, 0, 10, 0),           // zero factor
-		NewPlan(1).LinkSlow(0, 0, 10, 1.5),         // factor > 1
-		NewPlan(1).Delay(0, 0, 0, 10, 1.5, 5),      // probability > 1
-		NewPlan(1).Delay(0, 0, 0, 10, 0.5, -1),     // negative delay
-		NewPlan(1).Duplicate(0, 0, 50, -10, 0.5),   // end before start
+		NewPlan(1).LinkDown(8, 0, 10),               // link out of range
+		NewPlan(1).NodeDown(-2, 0, 10),              // node out of range (not Any)
+		NewPlan(1).LinkSlow(0, 0, 10, 0),            // zero factor
+		NewPlan(1).LinkSlow(0, 0, 10, 1.5),          // factor > 1
+		NewPlan(1).Delay(0, 0, 0, 10, 1.5, 5),       // probability > 1
+		NewPlan(1).Delay(0, 0, 0, 10, 0.5, -1),      // negative delay
+		NewPlan(1).Duplicate(0, 0, 50, -10, 0.5),    // end before start
 		{Events: []Event{{Kind: Kind(99), End: 1}}}, // unknown kind
 	}
 	for i, p := range bad {

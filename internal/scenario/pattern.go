@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/armci"
+	"repro/internal/bench"
+	"repro/internal/sweep"
+)
+
+// Axes declares which orthogonal spec axes a pattern consumes. Setting
+// an axis the pattern does not consume is a validation error — a
+// dropped axis would alias two different-looking specs onto one hash.
+type Axes struct {
+	Sizes       bool `json:"sizes"`
+	Procs       bool `json:"procs"`
+	PerNode     bool `json:"per_node"`
+	Mode        bool `json:"mode"`
+	Consistency bool `json:"consistency"`
+	Fault       bool `json:"fault"`
+}
+
+// pattern is one registered traffic pattern: its parameter schema, the
+// axes it consumes with their defaults, an optional cross-field check,
+// and the engine-explicit runner (called with a canonical phase).
+type pattern struct {
+	Name   string
+	Doc    string
+	Schema bench.Schema
+	Axes   Axes
+
+	DefaultSizes    *SizeDist
+	DefaultTopology TopologySpec
+	DefaultEngine   EngineSpec
+
+	// Check validates cross-parameter constraints the schema cannot
+	// express (e.g. tile must divide n). field is the phase's locator
+	// prefix.
+	Check func(ph *PhaseSpec, field string) error
+
+	run func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid
+}
+
+// patterns is the composition registry. The five entries cover the
+// paper's traffic shapes: the Fig 3 ping and Fig 9 fetch-and-add
+// micro-kernels plus the three promoted examples (halo exchange,
+// work-stealing, dgemm).
+var patterns = map[string]*pattern{
+	"ping": {
+		Name: "ping",
+		Doc:  "Fig 3-style contiguous get/put latency between two adjacent nodes",
+		Schema: bench.Schema{
+			bench.IntParam("iters", "repetitions per size point", 5, 1, bench.MaxIters),
+		},
+		Axes:         Axes{Sizes: true, Mode: true, Fault: true},
+		DefaultSizes: &SizeDist{Kind: "sweep", MinBytes: 16, MaxBytes: 65536},
+		DefaultEngine: EngineSpec{
+			Mode: "async",
+		},
+		run: func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid {
+			sizes, weights := ph.Sizes.resolve()
+			return bench.PingGrid(ctx, eng, bench.PingSpec{
+				Sizes:   sizes,
+				Weights: weights,
+				Iters:   ph.Params.Int("iters"),
+				Modes:   ph.Engine.modes(),
+				Fault:   ph.Fault.factory(),
+				Seed:    ph.Fault.seed(),
+			})
+		},
+	},
+	"fetchadd": {
+		Name: "fetchadd",
+		Doc:  "Fig 9-style fetch-and-add on a rank-0 counter hammered by all other ranks",
+		Schema: bench.Schema{
+			bench.IntParam("ops_each", "fetch-and-add ops per worker rank", 8, 1, bench.MaxOpsEach),
+			bench.BoolParam("compute", "rank 0 computes in 300 us chunks between progress calls", false),
+		},
+		Axes:            Axes{Procs: true, PerNode: true, Mode: true, Fault: true},
+		DefaultTopology: TopologySpec{Procs: []int{2, 16, 64}, PerNode: 16},
+		DefaultEngine:   EngineSpec{Mode: "both"},
+		run: func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid {
+			return bench.FetchAddGrid(ctx, eng, bench.FetchAddSpec{
+				Procs:   ph.Topology.Procs,
+				PerNode: ph.Topology.PerNode,
+				OpsEach: ph.Params.Int("ops_each"),
+				Compute: ph.Params.Bool("compute"),
+				Modes:   ph.Engine.modes(),
+				Fault:   ph.Fault.factory(),
+				Seed:    ph.Fault.seed(),
+			})
+		},
+	},
+	"halo": {
+		Name: "halo",
+		Doc:  "2-D Jacobi halo exchange: contiguous row halos (RDMA) + strided column halos (typed)",
+		Schema: bench.Schema{
+			bench.IntParam("tiles_x", "process grid width", 4, 1, 8),
+			bench.IntParam("tiles_y", "process grid height", 2, 1, 8),
+			bench.IntParam("tile_n", "interior cells per tile side", 32, 4, 128),
+			bench.IntParam("iters", "Jacobi iterations", 20, 1, bench.MaxIters),
+		},
+		Axes:            Axes{PerNode: true, Mode: true},
+		DefaultTopology: TopologySpec{PerNode: 16},
+		DefaultEngine:   EngineSpec{Mode: "async"},
+		Check: func(ph *PhaseSpec, field string) error {
+			procs := ph.Params.Int("tiles_x") * ph.Params.Int("tiles_y")
+			if procs < bench.MinProcs {
+				return errf(field+".params.tiles_y",
+					"tiles_x*tiles_y must be at least %d ranks (got %d)", bench.MinProcs, procs)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid {
+			return bench.HaloGrid(ctx, eng, bench.HaloSpec{
+				TilesX:  ph.Params.Int("tiles_x"),
+				TilesY:  ph.Params.Int("tiles_y"),
+				TileN:   ph.Params.Int("tile_n"),
+				Iters:   ph.Params.Int("iters"),
+				PerNode: ph.Topology.PerNode,
+				Modes:   ph.Engine.modes(),
+			})
+		},
+	},
+	"worksteal": {
+		Name: "worksteal",
+		Doc:  "dynamic load balancing: skewed task pool handed out by rank-0 fetch-and-add",
+		Schema: bench.Schema{
+			bench.IntParam("tasks", "tasks in the pool", 256, 1, 4096),
+		},
+		Axes:            Axes{Procs: true, PerNode: true, Mode: true},
+		DefaultTopology: TopologySpec{Procs: []int{16}, PerNode: 16},
+		DefaultEngine:   EngineSpec{Mode: "both"},
+		run: func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid {
+			return bench.WorkStealGrid(ctx, eng, bench.WorkStealSpec{
+				Procs:   ph.Topology.Procs,
+				PerNode: ph.Topology.PerNode,
+				Tasks:   ph.Params.Int("tasks"),
+				Modes:   ph.Engine.modes(),
+			})
+		},
+	},
+	"dgemm": {
+		Name: "dgemm",
+		Doc:  "distributed C = A x B over Global Arrays, exact-verified, consistency-mode ablation",
+		Schema: bench.Schema{
+			bench.IntParam("n", "matrix dimension", 48, 8, 192),
+			bench.IntParam("tile", "tile dimension (must divide n)", 12, 4, 64),
+		},
+		Axes:            Axes{Procs: true, PerNode: true, Consistency: true},
+		DefaultTopology: TopologySpec{Procs: []int{4}, PerNode: 4},
+		DefaultEngine:   EngineSpec{Consistency: "both"},
+		Check: func(ph *PhaseSpec, field string) error {
+			n, tile := ph.Params.Int("n"), ph.Params.Int("tile")
+			if n%tile != 0 {
+				return errf(field+".params.tile", "must divide n (%d %% %d != 0)", n, tile)
+			}
+			return nil
+		},
+		run: func(ctx context.Context, eng *sweep.Engine, ph *PhaseSpec) *bench.Grid {
+			return bench.DgemmGrid(ctx, eng, bench.DgemmSpec{
+				N:           ph.Params.Int("n"),
+				Tile:        ph.Params.Int("tile"),
+				Procs:       ph.Topology.Procs,
+				PerNode:     ph.Topology.PerNode,
+				Consistency: ph.Engine.consistencyModes(),
+			})
+		},
+	},
+}
+
+func lookupPattern(name string) (*pattern, bool) {
+	p, ok := patterns[name]
+	return p, ok
+}
+
+// consistencyModes expands the canonical consistency string into
+// armci modes in column order.
+func (e *EngineSpec) consistencyModes() []armci.ConsistencyMode {
+	switch e.Consistency {
+	case "naive":
+		return []armci.ConsistencyMode{armci.ConsistencyNaive}
+	case "region":
+		return []armci.ConsistencyMode{armci.ConsistencyPerRegion}
+	case "both":
+		return []armci.ConsistencyMode{armci.ConsistencyNaive, armci.ConsistencyPerRegion}
+	}
+	panic("scenario: unresolved consistency " + e.Consistency)
+}
+
+// Info is one pattern's self-description, served by GET /v1/scenarios
+// so clients compose specs by introspection instead of hard-coding.
+type Info struct {
+	Name   string       `json:"name"`
+	Doc    string       `json:"doc"`
+	Params bench.Schema `json:"params"`
+	Axes   Axes         `json:"axes"`
+}
+
+// Patterns lists every registered composition pattern, sorted by name.
+func Patterns() []Info {
+	out := make([]Info, 0, len(patterns))
+	for _, p := range patterns {
+		schema := p.Schema
+		if schema == nil {
+			schema = bench.Schema{}
+		}
+		out = append(out, Info{Name: p.Name, Doc: p.Doc, Params: schema, Axes: p.Axes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

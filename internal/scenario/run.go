@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/sweep"
+)
+
+// PhaseResult pairs a phase's pattern name with its rendered grid.
+type PhaseResult struct {
+	Pattern string
+	Grid    *bench.Grid
+}
+
+// Result is a completed composed run: one grid per phase, in spec
+// order.
+type Result struct {
+	Phases []PhaseResult
+}
+
+// Run canonicalizes sp and executes its phases sequentially on eng.
+// Each phase fans its independent simulations across the engine's
+// workers (and each simulation across its lane shards), so the result
+// is byte-identical at any worker or shard count. A non-nil error is
+// either a *SpecError (invalid spec; nothing ran) or ctx's error (the
+// run was cut short; the partial result must not be cached or served).
+func Run(ctx context.Context, eng *sweep.Engine, sp Spec) (*Result, error) {
+	canon, err := sp.Canon()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for i := range canon.Phases {
+		ph := &canon.Phases[i]
+		pat, _ := lookupPattern(ph.Pattern)
+		res.Phases = append(res.Phases, PhaseResult{
+			Pattern: ph.Pattern,
+			Grid:    pat.run(ctx, eng, ph),
+		})
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+	}
+	return res, nil
+}
+
+// Render writes the composed result in the given format (csv, text, or
+// json), phases in order with explicit separators. Rendering is a pure
+// function of the grids, so cached bytes equal cold bytes.
+func (r *Result) Render(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		for i, p := range r.Phases {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "# phase %d: %s\n", i, p.Pattern)
+			p.Grid.RenderCSV(w)
+		}
+		return nil
+	case "text":
+		for i, p := range r.Phases {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "-- phase %d: %s --\n", i, p.Pattern)
+			p.Grid.Render(w)
+		}
+		return nil
+	case "json":
+		type phaseDoc struct {
+			Pattern string          `json:"pattern"`
+			Grid    json.RawMessage `json:"grid"`
+		}
+		doc := struct {
+			Phases []phaseDoc `json:"phases"`
+		}{Phases: make([]phaseDoc, 0, len(r.Phases))}
+		for _, p := range r.Phases {
+			var buf bytes.Buffer
+			if err := p.Grid.RenderJSON(&buf); err != nil {
+				return err
+			}
+			doc.Phases = append(doc.Phases, phaseDoc{
+				Pattern: p.Pattern,
+				Grid:    json.RawMessage(bytes.TrimRight(buf.Bytes(), "\n")),
+			})
+		}
+		return json.NewEncoder(w).Encode(doc)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}

@@ -9,13 +9,13 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -109,6 +109,36 @@ type jobResult struct {
 	retryAfter int // seconds; nonzero adds a Retry-After header
 }
 
+// job is one executable unit behind the cache/singleflight/registry
+// machinery, shared by the fixed-scenario and composed paths. scenario
+// is the label used for metrics, the per-scenario concurrency cap, and
+// the run registry ("compose" for composed jobs); key is the config's
+// content address; exec runs the work on a pooled engine and returns the
+// rendered artifact.
+type job struct {
+	scenario string
+	format   string
+	key      string
+	exec     func(ctx context.Context, eng *sweep.Engine) ([]byte, error)
+}
+
+// legacyExec returns the executor for a normalized fixed-scenario
+// config: run the sweep, render in the requested format.
+func legacyExec(sc *bench.Scenario, cfg JobConfig) func(ctx context.Context, eng *sweep.Engine) ([]byte, error) {
+	return func(ctx context.Context, eng *sweep.Engine) ([]byte, error) {
+		g, err := sc.Run(ctx, eng, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The sweep was cut short; the grid is partial and must never
+			// be rendered, served, or cached.
+			return nil, ctx.Err()
+		}
+		return renderArtifact(g, cfg.Format)
+	}
+}
+
 // Server executes simulation jobs behind a result cache and admission
 // control. Build with New, mount Handler on an http.Server, call Drain
 // then Close on shutdown.
@@ -162,15 +192,40 @@ func New(opts Options) *Server {
 		s.engines <- sweep.NewSharded(opts.SweepWorkers, opts.Shards, nil)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /run", s.handleRun)
-	s.mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	// The job API mounts twice: canonically under /v1, and at the legacy
+	// unversioned paths with a Deprecation header pointing at the
+	// successor. Compose is /v1-only (it never had an unversioned life);
+	// /healthz and /metrics are infrastructure probes, not API, and stay
+	// unversioned.
+	for _, rt := range []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"POST", "/run", s.handleRun},
+		{"GET", "/scenarios", s.handleScenarios},
+		{"POST", "/runs", s.handleSubmit},
+		{"GET", "/runs", s.handleRuns},
+		{"GET", "/runs/{id}", s.handleRunGet},
+		{"GET", "/runs/{id}/events", s.handleRunEvents},
+	} {
+		s.mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		s.mux.HandleFunc(rt.method+" "+rt.path, deprecated(rt.h))
+	}
+	s.mux.HandleFunc("POST /v1/compose", s.handleCompose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /runs", s.handleRuns)
-	s.mux.HandleFunc("GET /runs/{id}", s.handleRunGet)
-	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	return s
+}
+
+// deprecated wraps a legacy unversioned route: responses carry a
+// Deprecation header (RFC 8594) and a Link to the /v1 successor, so
+// clients discover the versioned surface without breaking.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler to mount (wrapped in the request
@@ -239,34 +294,39 @@ func (s *Server) syncCacheGauges() {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	noStore(w)
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		unavailable(w)
 		return
 	}
 	cfg, err := ParseJobConfig(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	cfg, sc, err := cfg.Normalize()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
-	key := cfg.Hash()
+	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(), exec: legacyExec(sc, cfg)}
 	s.count("serve/requests{scenario="+sc.Name+"}", 1)
 	access(r).scenario = sc.Name
+	s.serveJob(w, r, j)
+}
 
-	if body, ok := s.cache.Get(key); ok {
+// serveJob is the synchronous artifact path shared by POST /v1/run and
+// POST /v1/compose: cache lookup, singleflight-collapsed execution, then
+// the artifact (or the collapsed error) in the response body.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, j job) {
+	if body, ok := s.cache.Get(j.key); ok {
 		s.count("serve/cache.hits", 1)
 		access(r).cache = "hit"
-		s.writeArtifact(w, cfg, sc.Name, key, "hit", body)
+		s.writeArtifact(w, j, "hit", body)
 		return
 	}
 	s.count("serve/cache.misses", 1)
 
-	res, shared, err := s.flight.do(r.Context(), s.base, key, func(ctx context.Context) *jobResult {
-		return s.runJob(ctx, sc, cfg, key)
+	res, shared, err := s.flight.do(r.Context(), s.base, j.key, func(ctx context.Context) *jobResult {
+		return s.runJob(ctx, j)
 	})
 	if err != nil {
 		// The client abandoned the request; the connection is gone, so
@@ -280,41 +340,82 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.count("serve/flight.shared", 1)
 	}
 	access(r).cache = src
-	if run := s.runs.get(runID(key)); run != nil {
+	if run := s.runs.get(runID(j.key)); run != nil {
 		access(r).queueWait = run.QueueWait()
 	}
 	if res.status != http.StatusOK {
-		if res.retryAfter > 0 {
-			w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
-		}
-		http.Error(w, res.errMsg, res.status)
+		jobError(w, res)
 		return
 	}
-	s.writeArtifact(w, cfg, sc.Name, key, src, res.body)
+	s.writeArtifact(w, j, src, res.body)
 }
 
-func (s *Server) writeArtifact(w http.ResponseWriter, cfg JobConfig, scenario, key, src string, body []byte) {
+// submitJob is the asynchronous path shared by POST /v1/runs and POST
+// /v1/compose?async=1: an immediate run record (200 when the artifact is
+// already cached, 202 otherwise), followed via GET /v1/runs/{id} or SSE.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, j job) {
+	if body, ok := s.cache.Get(j.key); ok {
+		s.count("serve/cache.hits", 1)
+		access(r).cache = "hit"
+		run := s.runs.cached(j.key, j.scenario, j.format, body)
+		writeJSON(w, http.StatusOK, run.Info())
+		return
+	}
+	s.count("serve/cache.misses", 1)
+	access(r).cache = "miss"
+
+	// Create the record before launching so a GET /runs/{id} issued right
+	// after the 202 can never race a not-yet-registered run.
+	run := s.runs.begin(j.key, j.scenario, j.format)
+	s.flight.start(s.base, j.key, func(ctx context.Context) *jobResult {
+		return s.runJob(ctx, j)
+	})
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+func (s *Server) writeArtifact(w http.ResponseWriter, j job, src string, body []byte) {
 	ctype := map[string]string{
 		"csv":  "text/csv; charset=utf-8",
 		"text": "text/plain; charset=utf-8",
 		"json": "application/json",
-	}[cfg.Format]
+	}[j.format]
 	w.Header().Set("Content-Type", ctype)
-	w.Header().Set("X-Config-Hash", key)
+	w.Header().Set("X-Config-Hash", j.key)
 	w.Header().Set("X-Cache", src)
-	w.Header().Set("X-Scenario", scenario)
+	w.Header().Set("X-Scenario", j.scenario)
 	w.Write(body)
 }
 
+// handleScenarios is GET /v1/scenarios: the self-describing catalog.
+// Fixed scenarios (kind "scenario", runnable via POST /v1/run) carry
+// their wire parameter schema and resolved defaults; composition
+// patterns (kind "pattern", usable as POST /v1/compose phases) carry
+// their schema and the orthogonal axes they consume. Clients build
+// submissions from this listing instead of hard-coding names and
+// parameter sets.
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		Name     string       `json:"name"`
-		Doc      string       `json:"doc"`
-		Defaults bench.Params `json:"defaults"`
+		Name     string         `json:"name"`
+		Kind     string         `json:"kind"` // scenario | pattern
+		Doc      string         `json:"doc"`
+		Params   bench.Schema   `json:"params"`
+		Defaults *bench.Params  `json:"defaults,omitempty"` // scenarios only
+		Axes     *scenario.Axes `json:"axes,omitempty"`     // patterns only
 	}
 	var out []entry
 	for _, sc := range bench.Scenarios() {
-		out = append(out, entry{Name: sc.Name, Doc: sc.Doc, Defaults: sc.Defaults})
+		schema := sc.Schema
+		if schema == nil {
+			schema = bench.Schema{}
+		}
+		defaults := sc.Normalize(bench.Params{})
+		out = append(out, entry{Name: sc.Name, Kind: "scenario", Doc: sc.Doc,
+			Params: schema, Defaults: &defaults})
+	}
+	pats := scenario.Patterns()
+	for i := range pats {
+		out = append(out, entry{Name: pats[i].Name, Kind: "pattern", Doc: pats[i].Doc,
+			Params: pats[i].Params, Axes: &pats[i].Axes})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
@@ -361,13 +462,13 @@ func (s *Server) scenarioSem(name string) chan struct{} {
 // rendering, and cache fill. It runs in the flight leader's goroutine;
 // ctx is the collapsed run context (cancelled when every waiter is gone,
 // the job times out, or the server closes).
-func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, key string) (res *jobResult) {
-	run := s.runs.begin(key, sc.Name, cfg.Format)
+func (s *Server) runJob(ctx context.Context, j job) (res *jobResult) {
+	run := s.runs.begin(j.key, j.scenario, j.format)
 	defer func() {
 		if p := recover(); p != nil {
 			s.count("serve/jobs.panicked", 1)
 			res = &jobResult{status: http.StatusInternalServerError,
-				errMsg: fmt.Sprintf("scenario %s panicked: %v", sc.Name, p)}
+				errMsg: fmt.Sprintf("scenario %s panicked: %v", j.scenario, p)}
 		}
 		st := run.finish(res)
 		s.count("serve/runs.finished{state="+string(st)+"}", 1)
@@ -390,7 +491,7 @@ func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, 
 
 	// Per-scenario cap, then a worker's engine. Both waits abort if every
 	// client interested in this run has gone away.
-	sem := s.scenarioSem(sc.Name)
+	sem := s.scenarioSem(j.scenario)
 	select {
 	case sem <- struct{}{}:
 	case <-ctx.Done():
@@ -419,21 +520,17 @@ func (s *Server) runJob(ctx context.Context, sc *bench.Scenario, cfg JobConfig, 
 	runCtx = sweep.WithEmitter(runCtx, newRunEmitter(run, runReg, s.opts.TraceBudget))
 
 	t0 := time.Now()
-	g, err := sc.Run(runCtx, eng, cfg.Params)
-	if err != nil {
-		return &jobResult{status: http.StatusBadRequest, errMsg: err.Error()}
-	}
+	body, err := j.exec(runCtx, eng)
 	if runCtx.Err() != nil {
-		// The sweep was cut short; the grid is partial and must never be
+		// The work was cut short; any partial artifact must never be
 		// served or cached.
 		return cancelResult(runCtx)
 	}
-	body, err := renderArtifact(g, cfg.Format)
 	if err != nil {
-		return &jobResult{status: http.StatusInternalServerError, errMsg: err.Error()}
+		return &jobResult{status: http.StatusBadRequest, errMsg: err.Error()}
 	}
-	s.observeLatency(sc.Name, time.Since(t0))
-	s.cache.Put(key, body)
+	s.observeLatency(j.scenario, time.Since(t0))
+	s.cache.Put(j.key, body)
 	return &jobResult{status: http.StatusOK, body: body}
 }
 

@@ -9,11 +9,9 @@ package serve
 // the simulation (the emitter appends to the log and moves on).
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 )
 
 // noStore stamps the cache hygiene headers: live observability payloads
@@ -36,44 +34,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // and the client follows the run via GET /runs/{id} or the SSE stream.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		noStore(w)
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		unavailable(w)
 		return
 	}
 	cfg, err := ParseJobConfig(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		noStore(w)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
 	cfg, sc, err := cfg.Normalize()
 	if err != nil {
-		noStore(w)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		badRequest(w, err)
 		return
 	}
-	key := cfg.Hash()
+	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(), exec: legacyExec(sc, cfg)}
 	s.count("serve/submits{scenario="+sc.Name+"}", 1)
 	access(r).scenario = sc.Name
-
-	if body, ok := s.cache.Get(key); ok {
-		s.count("serve/cache.hits", 1)
-		access(r).cache = "hit"
-		run := s.runs.cached(key, sc.Name, cfg.Format, body)
-		writeJSON(w, http.StatusOK, run.Info())
-		return
-	}
-	s.count("serve/cache.misses", 1)
-	access(r).cache = "miss"
-
-	// Create the record before launching so a GET /runs/{id} issued right
-	// after the 202 can never race a not-yet-registered run.
-	run := s.runs.begin(key, sc.Name, cfg.Format)
-	s.flight.start(s.base, key, func(ctx context.Context) *jobResult {
-		return s.runJob(ctx, sc, cfg, key)
-	})
-	writeJSON(w, http.StatusAccepted, run.Info())
+	s.submitJob(w, r, j)
 }
 
 // handleRuns is GET /runs: every retained run, admission order.
@@ -104,8 +81,7 @@ func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	noStore(w)
-	http.Error(w, "unknown run", http.StatusNotFound)
+	notFound(w, "id", "no run record or cached artifact for this id")
 }
 
 // handleRunEvents is GET /runs/{id}/events: the SSE live-attach stream.
@@ -127,14 +103,13 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if run == nil {
-		noStore(w)
-		http.Error(w, "unknown run", http.StatusNotFound)
+		notFound(w, "id", "no run record or cached artifact for this id")
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		noStore(w)
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError,
+			apiError{Error: "streaming unsupported"}, 0)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
