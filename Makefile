@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke chaos-smoke race-sweep race-shards serve-smoke live-smoke compose-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke bench-shards chaos-smoke race-sweep race-shards serve-smoke live-smoke compose-smoke figures report scf clean
 
 all: vet test
 
@@ -72,13 +72,23 @@ chaos-smoke:
 race-sweep:
 	$(GO) test -race -run 'TestSweep|TestConcurrent' .
 
-# Intra-run shard race gate: the lane pool, windowed boundary, and
-# cross-lane deposit path under the race detector — shard-count
-# invariance, legacy-engine equivalence, and two sharded worlds running
-# concurrently — plus the sim package's own lane engine tests.
+# Intra-run shard race gate: the lane pool, parallel boundary (staged
+# deposit apply), and cross-lane deposit path under the race detector —
+# the shard x lane-group invariance matrix, the serial-boundary oracle
+# equivalence, legacy-engine equivalence, and two sharded worlds running
+# concurrently — plus the sim package's own lane engine and horizon-tree
+# tests.
 race-shards:
-	$(GO) test -race -run 'TestShard|TestLegacyEngine' .
-	$(GO) test -race -run 'TestLane' ./internal/sim/
+	$(GO) test -race -run 'TestShard|TestLegacyEngine|TestFig9LaneGroup|TestChaosLaneGroup|TestComposedLaneGroup|TestBoundaryOracle' .
+	$(GO) test -race -run 'TestLane|TestHorizon|TestPopUpTo|TestMarkDirty' ./internal/sim/
+
+# Shard scaling gate: times the fig9 p=16384 scenario serial vs sharded
+# (GOMAXPROCS logged), after asserting byte-identical results. On a
+# multi-core runner, fails if the sharded run is >10% slower than
+# serial; single-core hosts report and pass (lane workers can only add
+# overhead there, which is exactly what the run records).
+bench-shards:
+	sh scripts/bench-shards.sh
 
 # Serving-layer gate: start simd, drive it with simload (0 errors, cache
 # hits on the skewed phase, cached bytes identical to cold), then assert

@@ -53,10 +53,18 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"lane workers inside each simulation (0 = serial engine, -1 = legacy "+
 			"single-queue engine); output is byte-identical at any value")
+	laneGroup := flag.Int("lane-group", 0,
+		"lanes per worker dispatch chunk (0 = auto from nodes/shards); "+
+			"output is byte-identical at any value")
+	serialBoundary := flag.Bool("serial-boundary", false,
+		"apply window-boundary deposits serially (the equivalence oracle); "+
+			"output is byte-identical either way")
 	flag.Parse()
 
 	bench.SetParallel(*parallel)
 	bench.SetShards(*shards)
+	bench.SetLaneGroup(*laneGroup)
+	bench.SetSerialBoundary(*serialBoundary)
 
 	// Ctrl-C stops scheduling new sweep points; partial grids are never
 	// rendered (the guard in render), and the process exits 130.

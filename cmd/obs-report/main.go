@@ -116,7 +116,39 @@ func main() {
 	}
 
 	renderLayers(agg)
+	renderLaneEngine(agg)
 	renderLinks(linkBusy, finalNS, *topN)
+}
+
+// renderLaneEngine summarizes the lane engine's round-level telemetry —
+// the Amdahl profile of intra-run parallelism: how many window rounds
+// ran, how much cross-lane work each round carried, how wide the
+// realized windows were, and what fraction of scheduling work was bound
+// to the serial coordinator. Absent metrics (single-queue engine, old
+// dumps) skip the section.
+func renderLaneEngine(agg map[string]*metric) {
+	rounds := agg["sim/rounds"]
+	if rounds == nil || rounds.value == 0 {
+		return
+	}
+	fmt.Println("\n## lane engine (Amdahl profile)")
+	fmt.Println()
+	fmt.Printf("rounds: %d\n", rounds.value)
+	if ops := agg["sim/boundary_ops"]; ops != nil {
+		fmt.Printf("boundary ops: %d (%.2f per round)\n",
+			ops.value, float64(ops.value)/float64(rounds.value))
+	}
+	if ev := agg["sim/events"]; ev != nil {
+		fmt.Printf("events per round: %.2f\n", float64(ev.value)/float64(rounds.value))
+	}
+	if w := agg["sim/window_width_ns"]; w != nil && w.count > 0 {
+		fmt.Printf("realized window width: mean %.2f us over %d windows\n",
+			float64(w.sum)/float64(w.count)/1000, w.count)
+	}
+	if sf := agg["sim/serial_permille"]; sf != nil {
+		fmt.Printf("serial fraction: %.1f%% of scheduling work bound to the coordinator\n",
+			float64(sf.value)/10)
+	}
 }
 
 // follow attaches to a simd run's SSE event stream and renders its

@@ -37,10 +37,13 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"lane workers inside each simulation (0 = serial engine, -1 = legacy "+
 			"single-queue engine); output is byte-identical at any value")
+	laneGroup := flag.Int("lane-group", 0,
+		"lanes per worker dispatch chunk (0 = auto); byte-identical at any value")
 	flag.Parse()
 
 	bench.SetParallel(*parallel)
 	bench.SetShards(*shards)
+	bench.SetLaneGroup(*laneGroup)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

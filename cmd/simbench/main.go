@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -269,7 +270,10 @@ func main() {
 	smoke := flag.Bool("smoke", false, "micro benches only; exit 1 on alloc regression")
 	onlyPat := flag.String("only", "", "run only benches matching this regexp")
 	shards := flag.Int("shards", 0, "lane workers inside each harness simulation (0 = serial lane engine, -1 = legacy single-queue engine); output is byte-identical at any value")
+	laneGroup := flag.Int("lane-group", 0, "lanes per worker dispatch chunk (0 = auto from nodes/shards); output is byte-identical at any value")
 	big := flag.Bool("big", false, "also run the p=65536 shard-scaling scenario (slow)")
+	gateShards := flag.Bool("gate-shards", false,
+		"exit 1 if any fig9 shardsN row is >10% slower than its serial baseline while GOMAXPROCS >= N (the bench-shards CI gate)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the selected benches")
 	memProf := flag.String("memprofile", "", "write an allocation profile of the selected benches")
 	flag.Parse()
@@ -311,6 +315,7 @@ func main() {
 	defer stop()
 	bench.SetContext(ctx)
 	bench.SetShards(*shards)
+	bench.SetLaneGroup(*laneGroup)
 	interrupted := func() {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "simbench: interrupted")
@@ -457,11 +462,13 @@ func main() {
 	rep := report{
 		Schema:         1,
 		BaselineCommit: baselineCommit,
-		Note: "wall-clock cost of simulating (engine hot paths), written by `make bench`; " +
-			"ns figures are machine-dependent, allocs/op are not; sweep_* benches measure " +
-			"the parallel sweep engine against its own serial run on this machine; " +
-			"fig9_p16384_shards* rows measure intra-run lane workers against the serial " +
-			"lane engine on this machine (cores available: GOMAXPROCS at run time)",
+		Note: fmt.Sprintf("wall-clock cost of simulating (engine hot paths), written by `make bench` "+
+			"with GOMAXPROCS=%d; ns figures are machine-dependent, allocs/op are not; sweep_* "+
+			"benches measure the parallel sweep engine against its own serial run on this "+
+			"machine; fig9_p16384_shards* rows measure intra-run lane workers against the "+
+			"serial lane engine on this machine — shardsN speedups are only meaningful when "+
+			"GOMAXPROCS >= N (on fewer cores lane workers just multiplex and can only add "+
+			"overhead; `make bench-shards` gates the multi-core case)", runtime.GOMAXPROCS(0)),
 		Benches: reps,
 	}
 
@@ -478,6 +485,40 @@ func main() {
 			sp = fmt.Sprintf("%.2fx", r.Speedup)
 		}
 		fmt.Printf("%-28s %14.1f %12.1f %10s\n", n, r.NsPerOp, r.AllocsPerOp, sp)
+	}
+
+	if *gateShards {
+		// The bench-shards CI gate: a shardsN row that is >10% slower than
+		// its serial baseline is a scaling regression — but only on a host
+		// with at least N cores, where the workers can actually run in
+		// parallel. On smaller hosts the rows are recorded but not gated.
+		p := runtime.GOMAXPROCS(0)
+		bad := false
+		for name, r := range reps {
+			i := strings.LastIndex(name, "_shards")
+			if i < 0 || r.BaselineNsPerOp == 0 {
+				continue
+			}
+			n, err := strconv.Atoi(name[i+len("_shards"):])
+			if err != nil {
+				continue
+			}
+			if p < n {
+				fmt.Printf("gate-shards: %s not gated (GOMAXPROCS=%d < %d shards)\n", name, p, n)
+				continue
+			}
+			if r.NsPerOp > 1.1*r.BaselineNsPerOp {
+				fmt.Fprintf(os.Stderr, "SHARD SCALING REGRESSION: %s is %.2fx the serial wall clock on %d cores (limit 1.10x)\n",
+					name, r.NsPerOp/r.BaselineNsPerOp, p)
+				bad = true
+			} else {
+				fmt.Printf("gate-shards: %s ok (%.2fx serial, GOMAXPROCS=%d)\n",
+					name, r.NsPerOp/r.BaselineNsPerOp, p)
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
 	}
 
 	if *out != "" {

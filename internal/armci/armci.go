@@ -87,6 +87,20 @@ type Config struct {
 	// time. The legacy engine orders some concurrent events differently
 	// (see DESIGN.md), so -1 is not byte-identical to the laned engine.
 	Shards int
+	// LaneGroup coarsens the lane engine's execution grain: runnable
+	// lanes are handed to worker goroutines in contiguous chunks of G
+	// lanes, amortizing per-window dispatch overhead at large node
+	// counts. Zero auto-tunes from (nodes, Shards) — a pure function of
+	// the two, so the choice is canonical and, like Shards itself, never
+	// enters content-addressed job keys. Horizons and boundary order stay
+	// per-lane regardless, so the grouping cannot change a simulated
+	// byte. Ignored by the legacy engine (Shards == -1).
+	LaneGroup int
+	// SerialBoundary forces window-boundary deposits to be inserted
+	// serially on the coordinator goroutine instead of staged and applied
+	// on the worker pool — the oracle path equivalence tests pin the
+	// parallel boundary against. Execution-only; no effect on results.
+	SerialBoundary bool
 	// Seed perturbs the deterministic jitter streams.
 	Seed uint64
 	// Fault, when non-nil, installs deterministic fault injection on the
@@ -152,6 +166,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Shards < -1 {
 		return c, fmt.Errorf("armci: Config.Shards must be >= -1, got %d", c.Shards)
 	}
+	if c.LaneGroup < 0 {
+		return c, fmt.Errorf("armci: Config.LaneGroup must be non-negative, got %d", c.LaneGroup)
+	}
 	if c.Shards >= 0 && c.Params != nil && c.Params.BarrierLatency < c.Params.Lookahead() {
 		// The lane engine's barrier deposits its release at max(arrival)+
 		// BarrierLatency; horizons only guarantee that time is in every
@@ -180,6 +197,30 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("armci: Config.Retry set without Config.Fault; retry policies only apply to chaos runs")
 	}
 	return c, nil
+}
+
+// AutoLaneGroup picks the default lane-execution grain for a topology:
+// enough lanes per dispatch chunk that each worker claims roughly eight
+// chunks per full round (load-balance granularity versus per-chunk
+// handoff cost), clamped to [1, 64]. A pure function of (nodes, shards)
+// — never of GOMAXPROCS or any other host property — so the choice is
+// canonical across machines and stays out of content-addressed job keys.
+func AutoLaneGroup(nodes, shards int) int {
+	workers := shards
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nodes {
+		workers = nodes
+	}
+	g := nodes / (workers * 8)
+	if g < 1 {
+		g = 1
+	}
+	if g > 64 {
+		g = 64
+	}
+	return g
 }
 
 // World is one simulated job: the machine plus every rank's runtime.
@@ -228,6 +269,12 @@ func NewWorld(k *sim.Kernel, cfg Config) (*World, error) {
 			workers = 1
 		}
 		k.ConfigureLanes(tor.Nodes(), workers, cfg.Params.Lookahead())
+		group := cfg.LaneGroup
+		if group == 0 {
+			group = AutoLaneGroup(tor.Nodes(), cfg.Shards)
+		}
+		k.SetLaneGroup(group)
+		k.SetSerialBoundary(cfg.SerialBoundary)
 		m.SetLanes(k.Lanes())
 	}
 	w := &World{
@@ -261,9 +308,16 @@ func (w *World) Start(body func(th *sim.Thread, rt *Runtime)) {
 	tor := w.M.Net.Torus()
 	for rank := 0; rank < w.Cfg.Procs; rank++ {
 		rank := rank
+		// Region-cache buckets come off the pool's free list here, on
+		// the spawning goroutine: rank threads start concurrently on
+		// lane workers, and the pool is not safe to pop from inside
+		// them. Acquiring in rank order also keeps the recycled-array
+		// assignment deterministic (capacity-only, never simulated
+		// state, but determinism is cheap here).
+		buckets := w.Cfg.Pool.regionBuckets(w.Cfg.Procs)
 		ln := w.M.LaneFor(tor.NodeOf(rank))
 		t := w.K.SpawnOn(ln, fmt.Sprintf("rank-%04d", rank), func(th *sim.Thread) {
-			rt := newRuntime(w, th, rank)
+			rt := newRuntime(w, th, rank, buckets)
 			w.Runtimes[rank] = rt
 			rt.Barrier(th) // all clients exist before any traffic
 			body(th, rt)
@@ -400,7 +454,7 @@ type amKey struct {
 	id  int64
 }
 
-func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
+func newRuntime(w *World, th *sim.Thread, rank int, buckets [][]remoteRegion) *Runtime {
 	c := w.M.NewClient(th, rank)
 	c.MaxRegions = w.Cfg.MaxRegions
 	c.CreateContexts(th, w.Cfg.Contexts)
@@ -413,7 +467,7 @@ func newRuntime(w *World, th *sim.Thread, rank int) *Runtime {
 		svcCtx:  c.Contexts[w.svcIdx],
 		eps:     make(map[int]pami.Endpoint),
 		svcEps:  make(map[int]pami.Endpoint),
-		regions: &regionCache{cap: w.Cfg.RegionCacheCap, byRank: w.Cfg.Pool.regionBuckets(w.Cfg.Procs)},
+		regions: &regionCache{cap: w.Cfg.RegionCacheCap, byRank: buckets},
 		ranks:   make([]rankState, w.Cfg.Procs),
 		pend:    make(map[int64]*pendReq),
 		mutexes: make(map[int]*muState),

@@ -35,9 +35,20 @@ func Fig9PointC(procs, perNode int, async, compute bool, opsEach int) float64 {
 // measure the actual requested shard counts whatever the host's core
 // count, and the invariance tests sweep shard counts on any machine.
 func Fig9PointSharded(procs, perNode int, async, compute bool, opsEach, shardCount int) float64 {
+	return Fig9PointTuned(procs, perNode, async, compute, opsEach, shardCount, 0, false)
+}
+
+// Fig9PointTuned is Fig9PointSharded with every lane-engine execution
+// knob explicit — lane grouping and the serial-boundary oracle — for the
+// shard × lane-group invariance matrix and the boundary equivalence
+// tests. All three knobs are execution-only; the result is identical at
+// every setting.
+func Fig9PointTuned(procs, perNode int, async, compute bool, opsEach, shardCount, laneGroup int, serialBoundary bool) float64 {
 	return one(func(c *sweep.Ctx) float64 {
 		forced := *c
 		forced.Shards = shardCount
+		forced.LaneGroup = laneGroup
+		forced.SerialBoundary = serialBoundary
 		return fig9Point(&forced, procs, perNode, async, compute, opsEach)
 	})
 }

@@ -89,9 +89,18 @@ func ChaosRun(procs, perNode, opsEach int, seed uint64) ChaosResult {
 // counts regardless of how many cores the host exposes (extra lane
 // workers just multiplex, which is exactly what -race needs to see).
 func ChaosRunSharded(procs, perNode, opsEach int, seed uint64, shardCount int) ChaosResult {
+	return ChaosRunTuned(procs, perNode, opsEach, seed, shardCount, 0, false)
+}
+
+// ChaosRunTuned is ChaosRunSharded with the remaining lane-engine
+// execution knobs explicit (lane grouping, serial-boundary oracle), for
+// the shard × lane-group invariance matrix over chaos workloads.
+func ChaosRunTuned(procs, perNode, opsEach int, seed uint64, shardCount, laneGroup int, serialBoundary bool) ChaosResult {
 	return one(func(c *sweep.Ctx) ChaosResult {
 		forced := *c
 		forced.Shards = shardCount
+		forced.LaneGroup = laneGroup
+		forced.SerialBoundary = serialBoundary
 		return chaosRun(&forced, procs, perNode, opsEach, seed)
 	})
 }

@@ -18,12 +18,14 @@ import (
 // explicit cores (the Scenario registry) with one private engine per
 // job.
 var (
-	mu      sync.Mutex
-	parent  *obs.Registry
-	workers int // <= 0 selects GOMAXPROCS
-	shards  int // per-run lane workers; 0 default, -1 legacy engine
-	eng     *sweep.Engine
-	runCtx  context.Context = context.Background()
+	mu        sync.Mutex
+	parent    *obs.Registry
+	workers   int // <= 0 selects GOMAXPROCS
+	shards    int // per-run lane workers; 0 default, -1 legacy engine
+	laneGroup int // lane-execution grain; 0 auto
+	serialBnd bool
+	eng       *sweep.Engine
+	runCtx    context.Context = context.Background()
 )
 
 // SetObs installs (or, with nil, removes) the registry benchmark runs
@@ -60,6 +62,27 @@ func SetShards(n int) {
 	eng = nil
 }
 
+// SetLaneGroup sets the lane-execution grain for subsequent benchmark
+// sweeps (armci.Config.LaneGroup; 0 restores the canonical auto choice
+// from nodes and shards). Execution knob only — rendered bytes are
+// identical at every setting.
+func SetLaneGroup(g int) {
+	mu.Lock()
+	defer mu.Unlock()
+	laneGroup = g
+	eng = nil
+}
+
+// SetSerialBoundary selects the serial boundary-deposit oracle for
+// subsequent sweeps — the reference path equivalence tests pin the
+// parallel boundary against. Execution knob only.
+func SetSerialBoundary(b bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	serialBnd = b
+	eng = nil
+}
+
 // SetContext installs the cancellation context subsequent sweeps run
 // under (nil restores context.Background()). Drivers wire their SIGINT
 // context here: on cancellation, in-flight simulations finish but no new
@@ -89,6 +112,8 @@ func setup() (context.Context, *sweep.Engine) {
 	defer mu.Unlock()
 	if eng == nil {
 		eng = sweep.NewSharded(workers, shards, parent)
+		eng.SetLaneGroup(laneGroup)
+		eng.SetSerialBoundary(serialBnd)
 	}
 	return runCtx, eng
 }

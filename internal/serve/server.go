@@ -45,6 +45,11 @@ type Options struct {
 	// not part of a job's identity, so it never changes which cache
 	// entry a config maps to nor the bytes that entry holds.
 	Shards int
+	// LaneGroup is the lane-execution grain each engine applies
+	// (armci.Config.LaneGroup; default 0, the canonical auto choice).
+	// Execution-side only, exactly like Shards: never part of a job's
+	// identity or its cached bytes.
+	LaneGroup int
 	// JobTimeout aborts a single job's execution (default 2 minutes).
 	JobTimeout time.Duration
 	// RunHistory bounds retained run records, live plus finished
@@ -189,7 +194,9 @@ func New(opts Options) *Server {
 		started: time.Now(),
 	}
 	for i := 0; i < opts.Workers; i++ {
-		s.engines <- sweep.NewSharded(opts.SweepWorkers, opts.Shards, nil)
+		e := sweep.NewSharded(opts.SweepWorkers, opts.Shards, nil)
+		e.SetLaneGroup(opts.LaneGroup)
+		s.engines <- e
 	}
 	s.mux = http.NewServeMux()
 	// The job API mounts twice: canonically under /v1, and at the legacy

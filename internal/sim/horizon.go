@@ -1,0 +1,131 @@
+package sim
+
+// Incremental horizon tracking for the lane engine. Every round the
+// coordinator needs the two earliest lane next-event times (min1/min2,
+// plus the argmin lane) to compute CMB horizons, and the set of lanes
+// whose next event falls inside the new window. The original
+// implementation rescanned an active-lane list — O(lanes) serial work
+// per round, the dominant coordinator cost at large node counts. This
+// file replaces the scan with a tournament tree over lane next-times:
+//
+//   - leaves hold each lane's cached earliest pending event time
+//     (timeInf when idle), internal nodes the min of their children
+//     with ties resolved toward the smaller lane index;
+//   - only lanes whose queues changed since the last round (ran a
+//     window, received a boundary deposit, were scheduled into by a
+//     coordinator event) refresh their leaf — O(changed · log lanes);
+//   - min1 and the argmin are the root; min2 is the minimum over the
+//     winner's sibling path, O(log lanes);
+//   - the runnable set (leaves strictly below a threshold) falls out of
+//     a DFS that prunes every subtree whose min is at or past the
+//     threshold — O(runnable · log lanes).
+//
+// Tie-break note: the root's argmin prefers the smaller lane index,
+// where the old scan preferred active-list order. The choice is
+// immaterial to the schedule: the argmin lane is only treated specially
+// when it is the *unique* minimum (on a tie min2 == min1, so every lane
+// receives the same horizon), and when the minimum is unique every
+// tie-break picks the same lane.
+
+// hnode is one tournament-tree node: the minimum next-event time in its
+// subtree and the leaf (lane) index holding it.
+type hnode struct {
+	t   Time
+	idx int32
+}
+
+// minNode prefers the earlier time; on a tie the left child, which by
+// layout is the smaller lane index.
+func minNode(a, b hnode) hnode {
+	if b.t < a.t {
+		return b
+	}
+	return a
+}
+
+// buildHorizonTree (re)initializes the tree from every lane's current
+// queue state. Called once at the start of runLanes; the tree is
+// maintained incrementally afterwards.
+func (k *Kernel) buildHorizonTree() {
+	n := len(k.lanes)
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	if cap(k.htree) >= 2*p {
+		k.htree = k.htree[:2*p]
+	} else {
+		k.htree = make([]hnode, 2*p)
+	}
+	k.htreeBase = p
+	for i := 0; i < p; i++ {
+		nd := hnode{t: timeInf, idx: int32(i)}
+		if i < n {
+			nd.t = k.lanes[i].nextTime()
+		}
+		k.htree[p+i] = nd
+	}
+	for i := p - 1; i >= 1; i-- {
+		k.htree[i] = minNode(k.htree[2*i], k.htree[2*i+1])
+	}
+}
+
+// htreeUpdate refreshes lane i's leaf to time t and recomputes its root
+// path.
+func (k *Kernel) htreeUpdate(i int, t Time) {
+	j := k.htreeBase + i
+	k.htree[j].t = t
+	for j > 1 {
+		j >>= 1
+		k.htree[j] = minNode(k.htree[2*j], k.htree[2*j+1])
+	}
+}
+
+// htreeMin2 returns the second-smallest leaf time, counting duplicates
+// (two lanes at the global minimum make min2 == min1): the minimum over
+// the siblings along the winner's root path.
+func (k *Kernel) htreeMin2() Time {
+	second := timeInf
+	for j := int(k.htree[1].idx) + k.htreeBase; j > 1; j >>= 1 {
+		if s := k.htree[j^1].t; s < second {
+			second = s
+		}
+	}
+	return second
+}
+
+// collectBelow appends, in lane-index order, every lane whose cached
+// next-event time is strictly below threshold, pruning subtrees whose
+// minimum is already at or past it.
+func (k *Kernel) collectBelow(j int, threshold Time, out []*Lane) []*Lane {
+	nd := k.htree[j]
+	if nd.t >= threshold {
+		return out
+	}
+	if j >= k.htreeBase {
+		return append(out, k.lanes[nd.idx])
+	}
+	out = k.collectBelow(2*j, threshold, out)
+	return k.collectBelow(2*j+1, threshold, out)
+}
+
+// markDirty queues a peer lane for a leaf refresh at the next round
+// start. Must only be called from serial context (the coordinator
+// goroutine, between window phases); the base lane is not in the tree.
+func (k *Kernel) markDirty(ln *Lane) {
+	if ln.dirtyQ || ln == &k.Lane {
+		return
+	}
+	ln.dirtyQ = true
+	k.dirty = append(k.dirty, ln)
+}
+
+// flushDirty refreshes every queued lane's leaf. Called at round start;
+// after it returns the tree mirrors every lane's queue exactly.
+func (k *Kernel) flushDirty() {
+	for _, ln := range k.dirty {
+		ln.dirtyQ = false
+		k.htreeUpdate(ln.idx, ln.nextTime())
+	}
+	k.dirty = k.dirty[:0]
+}

@@ -27,18 +27,36 @@ type Kernel struct {
 	Lane // base lane: the whole scheduler single-lane, the coordinator queue multi-lane
 
 	// Multi-lane state (zero for classic single-lane kernels).
-	multi        bool
-	workers      int
-	lookahead    Time
-	lanes        []*Lane
-	activeLanes  []*Lane
-	laneSpares   *laneSpareSet
-	exec         *laneExec
-	inWindow     atomic.Bool
-	inBoundary   bool
-	laneInserted bool
-	lanesMerged  bool
-	boundary     []boundaryRef
+	multi          bool
+	workers        int
+	lookahead      Time
+	laneGroup      int  // execution grain: lanes per worker dispatch chunk
+	serialBoundary bool // oracle mode: apply boundary deposits serially
+	lanes          []*Lane
+	laneSpares     *laneSpareSet
+	exec           *laneExec
+	inWindow       atomic.Bool
+	inBoundary     bool
+	laneInserted   bool
+	lanesMerged    bool
+
+	// Horizon tree (horizon.go): tournament min-tree over lane
+	// next-event times, refreshed only for dirty lanes each round.
+	htree     []hnode
+	htreeBase int
+	dirty     []*Lane
+
+	// Round scratch, reused across rounds without reallocation.
+	runnable    []*Lane    // lanes selected to run the current window
+	deferLanes  []*Lane    // lanes holding deferred boundary operations
+	stagedLanes []*Lane    // lanes holding staged boundary deposits
+	merge       []mergeEnt // k-way merge heap over deferred-log heads
+
+	// Round-level observability (nil handles are no-ops).
+	boundaryOps    uint64
+	obsRounds      *obs.Counter
+	obsBoundaryOps *obs.Counter
+	obsWindowWidth *obs.Histogram
 }
 
 // NewKernel returns an empty kernel at virtual time zero.

@@ -48,8 +48,35 @@ import (
 // round (that is the horizon invariant), so executing them in any order
 // or in parallel yields identical per-lane states; the boundary then
 // applies logged operations in the canonical (time, lane index, log
-// index) order on one goroutine. Worker count therefore cannot change a
-// single simulated byte — it only changes wall-clock time.
+// index) order. Worker count therefore cannot change a single simulated
+// byte — it only changes wall-clock time.
+//
+// Round scalability (the Amdahl refit): three coordinator costs used to
+// grow with the lane count regardless of how much work a round carried —
+// an O(lanes) min1/min2 scan, a single-goroutine O(N log N) sort over
+// every deferred operation, and per-lane dispatch bookkeeping. They are
+// replaced by
+//
+//   - a tournament tree over lane next-times (horizon.go), updated only
+//     for lanes whose queues changed, making round setup
+//     O(changed · log lanes);
+//   - a k-way merge of the per-lane deferred logs — each already in
+//     (time, log index) order, because lane time is monotone within a
+//     window — which replays the identical canonical order in
+//     O(N log k) with no comparator closure;
+//   - a bucketed boundary: appliers run serially (they touch shared
+//     link/MU/fault state in canonical order) but their ScheduleAbs
+//     deposits are *staged* per destination lane and inserted by the
+//     worker pool in parallel — sound because deposits into disjoint
+//     lanes touch disjoint heap/seq state (they commute), while each
+//     single lane receives its deposits in exactly the canonical order
+//     the serial path used, so its seq tie-breaks are unchanged;
+//   - lane grouping: runnable lanes are dispatched to workers in
+//     contiguous chunks of Kernel.SetLaneGroup lanes, amortizing the
+//     per-window handoff at large lane counts.
+//
+// SetSerialBoundary(true) keeps the fully serial k-way-merge path (the
+// oracle the staged path is pinned byte-identical against).
 
 const timeInf = Time(math.MaxInt64)
 
@@ -61,10 +88,58 @@ type deferredOp struct {
 	fn        func(at Time)
 }
 
-// boundaryRef addresses one logged operation during the boundary merge.
-type boundaryRef struct {
+// stagedOp is one boundary deposit awaiting insertion into its
+// destination lane's queue.
+type stagedOp struct {
+	at Time
+	fn func()
+}
+
+// mergeEnt is one lane's cursor in the boundary k-way merge: the head of
+// that lane's deferred log.
+type mergeEnt struct {
 	ln  *Lane
 	pos int
+}
+
+// mergeLess orders merge heads by (time, lane index); within one lane
+// the log itself supplies the (time, log index) order.
+func mergeLess(a, b mergeEnt) bool {
+	ta, tb := a.ln.deferred[a.pos].at, b.ln.deferred[b.pos].at
+	if ta != tb {
+		return ta < tb
+	}
+	return a.ln.idx < b.ln.idx
+}
+
+func mergeSiftUp(h []mergeEnt, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !mergeLess(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func mergeSiftDown(h []mergeEnt, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && mergeLess(h[r], h[l]) {
+			m = r
+		}
+		if !mergeLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Lane is one shard of a partitioned simulation: a private event queue,
@@ -95,8 +170,10 @@ type Lane struct {
 	// Window state (multi-lane mode).
 	limit    Time // exclusive horizon of the current window
 	winCap   Time // dynamic cap from operations deferred this window
-	active   bool // on the coordinator's active list
+	dirtyQ   bool // queued for a horizon-tree leaf refresh
+	inMerge  bool // registered on the coordinator's boundary merge list
 	deferred []deferredOp
+	staged   []stagedOp // boundary deposits awaiting parallel insertion
 }
 
 // Index returns the lane's index within its kernel (0 for the base lane
@@ -139,21 +216,58 @@ func (ln *Lane) At(delay Time, fn func()) {
 // (a message arrival, a barrier release) into a destination lane. at
 // must not be in the lane's past; the horizon protocol guarantees that,
 // and a violation means a lookahead bound was broken.
+//
+// During a boundary the deposit is staged on the destination lane and
+// inserted by the apply phase, which the worker pool runs in parallel
+// over disjoint destination lanes; per-lane staging order equals the
+// canonical application order, so the destination's seq assignment —
+// every timestamp tie-break — is identical to a direct serial
+// insertion (which SetSerialBoundary forces, as the oracle).
 func (ln *Lane) ScheduleAbs(at Time, fn func()) {
-	if ln.k.inWindow.Load() {
+	k := ln.k
+	if k.inWindow.Load() {
 		panic("sim: ScheduleAbs during a lane window; log a Defer instead")
 	}
 	if at < ln.now {
 		panic(fmt.Sprintf("sim: cross-lane event at %s is in lane %d's past (now %s): lookahead bound violated",
 			FormatTime(at), ln.idx, FormatTime(ln.now)))
 	}
+	if k.inBoundary && !k.serialBoundary && ln != &k.Lane {
+		if len(ln.staged) == 0 {
+			k.stagedLanes = append(k.stagedLanes, ln)
+		}
+		ln.staged = append(ln.staged, stagedOp{at: at, fn: fn})
+		return
+	}
 	ln.seq++
 	ln.heapPush(event{at: at, seq: ln.seq, fn: fn})
-	ln.k.laneInserted = true
-	if !ln.active && ln != &ln.k.Lane {
-		ln.active = true
-		ln.k.activeLanes = append(ln.k.activeLanes, ln)
+	k.laneInserted = true
+	k.markDirty(ln)
+}
+
+// applyStaged inserts the lane's staged boundary deposits, in staging
+// (canonical) order. Runs on any worker goroutine: it touches only this
+// lane's queue and seq counter.
+func (ln *Lane) applyStaged() {
+	for i := range ln.staged {
+		s := &ln.staged[i]
+		ln.seq++
+		ln.heapPush(event{at: s.at, seq: ln.seq, fn: s.fn})
+		*s = stagedOp{} // release the closure to the GC
 	}
+	ln.staged = ln.staged[:0]
+}
+
+// logDeferred appends one operation to the lane's boundary log. Logs
+// from inside a window are collected from the runnable set at the
+// boundary; a log from serial context (a coordinator event issuing an
+// operation on a lane's behalf) must register the lane itself.
+func (ln *Lane) logDeferred(op deferredOp) {
+	if len(ln.deferred) == 0 && !ln.k.inWindow.Load() && !ln.inMerge {
+		ln.inMerge = true
+		ln.k.deferLanes = append(ln.k.deferLanes, ln)
+	}
+	ln.deferred = append(ln.deferred, op)
 }
 
 // Defer logs a cross-lane operation for application at the next window
@@ -178,7 +292,7 @@ func (ln *Lane) Defer(minEffect Time, fn func(at Time)) {
 	if minEffect < ln.now {
 		panic("sim: Defer minEffect before now")
 	}
-	ln.deferred = append(ln.deferred, deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
+	ln.logDeferred(deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
 	if minEffect < ln.winCap {
 		ln.winCap = minEffect
 	}
@@ -200,7 +314,7 @@ func (ln *Lane) DeferRemote(minEffect Time, fn func(at Time)) {
 	if minEffect < ln.now+ln.k.lookahead {
 		panic("sim: DeferRemote minEffect inside the lookahead window")
 	}
-	ln.deferred = append(ln.deferred, deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
+	ln.logDeferred(deferredOp{at: ln.now, minEffect: minEffect, fn: fn})
 	if c := minEffect + ln.k.lookahead; c < ln.winCap {
 		ln.winCap = c
 	}
@@ -220,6 +334,23 @@ func (ln *Lane) nextTime() Time {
 	return t
 }
 
+// popUpTo pops the lane's earliest pending event if its time is
+// strictly below limit, merging the heap and ring on (at, seq); the
+// heap wins timestamp ties (see queue.go). ok is false when no pending
+// event lies below limit.
+func (ln *Lane) popUpTo(limit Time) (e event, ok bool) {
+	if ln.ring.n == 0 || (len(ln.heap) > 0 && ln.heap[0].at <= ln.ring.buf[ln.ring.head].at) {
+		if len(ln.heap) == 0 || ln.heap[0].at >= limit {
+			return event{}, false
+		}
+		return ln.heapPop(), true
+	}
+	if ln.ring.buf[ln.ring.head].at >= limit {
+		return event{}, false
+	}
+	return ln.ring.pop(), true
+}
+
 // runWindow executes the lane's events with time strictly below the
 // window limit (dynamically capped by Defer). It may run on any worker
 // goroutine; the lane is owned exclusively by its window for the round.
@@ -229,18 +360,9 @@ func (ln *Lane) runWindow() {
 		if ln.winCap < limit {
 			limit = ln.winCap
 		}
-		// Merge the two queues on (at, seq); heap wins ties (see queue.go).
-		var e event
-		if ln.ring.n == 0 || (len(ln.heap) > 0 && ln.heap[0].at <= ln.ring.buf[ln.ring.head].at) {
-			if len(ln.heap) == 0 || ln.heap[0].at >= limit {
-				return
-			}
-			e = ln.heapPop()
-		} else {
-			if ln.ring.buf[ln.ring.head].at >= limit {
-				return
-			}
-			e = ln.ring.pop()
+		e, ok := ln.popUpTo(limit)
+		if !ok {
+			return
 		}
 		if e.at < ln.now {
 			panic("sim: time went backwards")
@@ -295,6 +417,7 @@ func (k *Kernel) ConfigureLanes(n, workers int, lookahead Time) {
 	k.multi = true
 	k.workers = workers
 	k.lookahead = lookahead
+	k.laneGroup = 1
 	k.lanes = make([]*Lane, n)
 	for i := range k.lanes {
 		ln := &Lane{k: k, idx: i, yield: make(chan struct{}), winCap: timeInf}
@@ -313,7 +436,40 @@ func (k *Kernel) ConfigureLanes(n, workers int, lookahead Time) {
 		k.lanes[i] = ln
 	}
 	k.laneSpares = nil
+	if k.obs != nil {
+		// Round-level observability, recorded by the coordinator into the
+		// parent registry. All values derive from simulated state alone
+		// (the round structure is a function of lane state, never of the
+		// worker count or grouping), so the exported bytes stay identical
+		// at every shard × lane-group setting.
+		k.obsRounds = k.obs.Counter("sim/rounds")
+		k.obsBoundaryOps = k.obs.Counter("sim/boundary_ops")
+		k.obsWindowWidth = k.obs.Histogram("sim/window_width_ns", obs.ExpBounds(16, 4, 12))
+	}
 }
+
+// SetLaneGroup sets the execution grain of the lane engine: runnable
+// lanes are dispatched to worker goroutines in contiguous chunks of g
+// lanes, amortizing per-window scheduling overhead (one pool handoff
+// and one atomic fetch per chunk instead of per lane) at large lane
+// counts. Horizon and boundary semantics are per-lane regardless, so
+// the grouping — like the worker count — can never change a simulated
+// byte. g < 1 selects 1. Call before Run.
+func (k *Kernel) SetLaneGroup(g int) {
+	if g < 1 {
+		g = 1
+	}
+	k.laneGroup = g
+}
+
+// LaneGroup returns the configured execution grain.
+func (k *Kernel) LaneGroup() int { return k.laneGroup }
+
+// SetSerialBoundary forces boundary deposits to insert directly into
+// destination lanes on the coordinator goroutine, in canonical order —
+// the serial k-way-merge oracle the staged parallel path is pinned
+// byte-identical against. Execution-only debug knob; call before Run.
+func (k *Kernel) SetSerialBoundary(b bool) { k.serialBoundary = b }
 
 // Lanes returns the kernel's lanes, or nil for a single-lane kernel.
 func (k *Kernel) Lanes() []*Lane { return k.lanes }
@@ -331,14 +487,18 @@ func (k *Kernel) Multi() bool { return k.multi }
 // kernel is single-lane).
 func (k *Kernel) Lookahead() Time { return k.lookahead }
 
-// laneExec is the persistent worker pool executing runnable lanes. The
-// coordinator participates as the last worker, so one configured worker
-// means fully inline execution with no cross-goroutine handoff.
+// laneExec is the persistent worker pool executing lane phases: window
+// execution and staged-deposit application. The coordinator
+// participates as the last worker, so one configured worker means fully
+// inline execution with no cross-goroutine handoff. Tasks are claimed
+// in contiguous chunks of `group` lanes.
 type laneExec struct {
-	start    chan struct{}
-	wg       sync.WaitGroup
-	next     atomic.Int32
-	runnable []*Lane
+	start chan struct{}
+	wg    sync.WaitGroup
+	next  atomic.Int32
+	tasks []*Lane
+	group int32
+	apply bool // false: runWindow, true: applyStaged
 }
 
 func (k *Kernel) execWorkers() *laneExec {
@@ -358,62 +518,100 @@ func (k *Kernel) execWorkers() *laneExec {
 }
 
 func (x *laneExec) drain() {
+	g := int(x.group)
 	for {
-		i := int(x.next.Add(1)) - 1
-		if i >= len(x.runnable) {
+		lo := (int(x.next.Add(1)) - 1) * g
+		if lo >= len(x.tasks) {
 			return
 		}
-		x.runnable[i].runWindow()
+		hi := lo + g
+		if hi > len(x.tasks) {
+			hi = len(x.tasks)
+		}
+		if x.apply {
+			for _, ln := range x.tasks[lo:hi] {
+				ln.applyStaged()
+			}
+		} else {
+			for _, ln := range x.tasks[lo:hi] {
+				ln.runWindow()
+			}
+		}
 	}
 }
 
+// runPhase executes one parallel phase — lane windows (apply=false) or
+// staged deposit application (apply=true) — over tasks, dispatched in
+// lane-group chunks. A single chunk, or a single-worker kernel, runs
+// inline: no handoff, no atomics.
+func (k *Kernel) runPhase(x *laneExec, tasks []*Lane, apply bool) {
+	if len(tasks) == 0 {
+		return
+	}
+	g := k.laneGroup
+	chunks := (len(tasks) + g - 1) / g
+	if chunks == 1 || k.workers == 1 {
+		if apply {
+			for _, ln := range tasks {
+				ln.applyStaged()
+			}
+		} else {
+			for _, ln := range tasks {
+				ln.runWindow()
+			}
+		}
+		return
+	}
+	x.tasks = tasks
+	x.group = int32(g)
+	x.apply = apply
+	x.next.Store(0)
+	w := k.workers - 1
+	if w > chunks-1 {
+		w = chunks - 1
+	}
+	x.wg.Add(w)
+	for i := 0; i < w; i++ {
+		x.start <- struct{}{}
+	}
+	x.drain()
+	x.wg.Wait()
+	x.tasks = nil
+}
+
 // runLanes is the multi-lane Run loop: rounds of horizon computation,
-// (possibly parallel) window execution, and serial boundary application.
+// (possibly parallel) window execution, and boundary application.
 func (k *Kernel) runLanes() error {
 	x := k.execWorkers()
 	defer func() { k.exec = nil }()
 	defer close(x.start)
 
-	var runnable []*Lane
+	// The tree absorbs everything scheduled before Run; pre-Run dirty
+	// marks are redundant with the full build.
+	k.buildHorizonTree()
+	for _, ln := range k.dirty {
+		ln.dirtyQ = false
+	}
+	k.dirty = k.dirty[:0]
+
+	runnable := k.runnable[:0]
 	for {
 		k.laneInserted = false
-
-		// Find the two earliest lane next-times among active lanes,
-		// compacting lanes that have gone idle off the active list.
-		min1, min2 := timeInf, timeInf
-		var argmin *Lane
-		live := k.activeLanes[:0]
-		for _, ln := range k.activeLanes {
-			t := ln.nextTime()
-			if t == timeInf {
-				ln.active = false
-				continue
-			}
-			live = append(live, ln)
-			if t < min1 {
-				min1, min2 = t, min1
-				argmin = ln
-			} else if t < min2 {
-				min2 = t
-			}
-		}
-		k.activeLanes = live
+		k.flushDirty()
+		min1 := k.htree[1].t
+		argmin := int(k.htree[1].idx)
 
 		// Coordinator events (setup timers, fault windows) up to the
 		// global minimum run serially between rounds.
+		co := &k.Lane
+		bound := min1
+		if bound != timeInf {
+			bound++ // events at exactly min1 still belong to the coordinator
+		}
 		for {
-			var e event
-			co := &k.Lane
-			if co.ring.n == 0 || (len(co.heap) > 0 && co.heap[0].at <= co.ring.buf[co.ring.head].at) {
-				if len(co.heap) == 0 || co.heap[0].at > min1 {
-					break
-				}
-				e = co.heapPop()
-			} else {
-				if co.ring.buf[co.ring.head].at > min1 {
-					break
-				}
-				e = co.ring.pop()
+			e, ok := co.popUpTo(bound)
+			if !ok {
+				break
 			}
 			co.now = e.at
 			co.fired++
@@ -425,7 +623,7 @@ func (k *Kernel) runLanes() error {
 		}
 		if k.laneInserted {
 			// A coordinator event (or a fresh spawn) inserted lane events;
-			// the min1/min2 scan is stale. Recompute before running a round.
+			// the horizon tree is stale. Refresh before running a round.
 			continue
 		}
 		if min1 == timeInf {
@@ -434,11 +632,14 @@ func (k *Kernel) runLanes() error {
 
 		// Horizons: H(i) = min over j≠i of T_next(j) + Δ. The argmin lane
 		// sees the second minimum; with no second minimum it sprints,
-		// bounded only by its own Defer caps.
-		runnable = runnable[:0]
-		for _, ln := range k.activeLanes {
+		// bounded only by its own Defer caps. Runnable lanes — next event
+		// strictly below their horizon — fall out of a pruned tree walk;
+		// the argmin lane always qualifies (min1 < min1+Δ ≤ min2+Δ).
+		runnable = k.collectBelow(1, min1+k.lookahead, runnable[:0])
+		min2 := k.htreeMin2()
+		for _, ln := range runnable {
 			h := min1
-			if ln == argmin {
+			if ln.idx == argmin {
 				h = min2
 			}
 			if h == timeInf {
@@ -446,30 +647,13 @@ func (k *Kernel) runLanes() error {
 			} else {
 				ln.limit = h + k.lookahead
 			}
-			if ln.nextTime() < ln.limit {
-				ln.winCap = timeInf
-				runnable = append(runnable, ln)
-			}
+			ln.winCap = timeInf
 		}
+		k.obsRounds.Add(1)
 
-		// Execute the round. A single runnable lane (or a single-worker
-		// kernel) runs inline: no handoff, no atomics.
+		// Execute the round.
 		k.inWindow.Store(true)
-		if len(runnable) == 1 || k.workers == 1 {
-			for _, ln := range runnable {
-				ln.runWindow()
-			}
-		} else {
-			x.runnable = runnable
-			x.next.Store(0)
-			w := k.workers - 1
-			x.wg.Add(w)
-			for i := 0; i < w; i++ {
-				x.start <- struct{}{}
-			}
-			x.drain()
-			x.wg.Wait()
-		}
+		k.runPhase(x, runnable, false)
 		k.inWindow.Store(false)
 
 		for _, ln := range runnable {
@@ -478,47 +662,25 @@ func (k *Kernel) runLanes() error {
 			}
 		}
 		if k.Lane.failure != nil {
+			k.runnable = runnable[:0]
 			k.mergeLaneObs()
 			return k.Lane.failure
 		}
 
-		// Boundary: apply every logged operation in canonical
-		// (time, lane index, log index) order on this goroutine.
-		buf := k.boundary[:0]
-		for _, ln := range k.lanes {
-			for i := range ln.deferred {
-				buf = append(buf, boundaryRef{ln, i})
+		if k.obs != nil {
+			// Realized window widths: how far each lane advanced past its
+			// round-start next-event time (still cached in the tree leaf).
+			for _, ln := range runnable {
+				k.obsWindowWidth.Observe(int64(ln.now - k.htree[k.htreeBase+ln.idx].t))
 			}
 		}
-		if len(buf) > 0 {
-			k.inBoundary = true
-			sort.Slice(buf, func(i, j int) bool {
-				a, b := buf[i], buf[j]
-				oa, ob := &a.ln.deferred[a.pos], &b.ln.deferred[b.pos]
-				if oa.at != ob.at {
-					return oa.at < ob.at
-				}
-				if a.ln.idx != b.ln.idx {
-					return a.ln.idx < b.ln.idx
-				}
-				return a.pos < b.pos
-			})
-			for _, r := range buf {
-				op := &r.ln.deferred[r.pos]
-				op.fn(op.at)
-			}
-			for _, ln := range k.lanes {
-				if len(ln.deferred) > 0 {
-					for i := range ln.deferred {
-						ln.deferred[i] = deferredOp{} // release closures to the GC
-					}
-					ln.deferred = ln.deferred[:0]
-				}
-			}
-			k.inBoundary = false
+		for _, ln := range runnable {
+			k.markDirty(ln)
 		}
-		k.boundary = buf[:0]
+
+		k.runBoundary(x, runnable)
 	}
+	k.runnable = runnable[:0]
 
 	// Termination: the final clock is the maximum over every lane.
 	final := k.Lane.now
@@ -533,6 +695,15 @@ func (k *Kernel) runLanes() error {
 	k.mergeLaneObs()
 	if k.obs != nil {
 		k.obs.Gauge("sim/final_ns").SetMax(final)
+		// Amdahl telemetry: the share of scheduling work bound to the
+		// coordinator goroutine — coordinator events plus boundary
+		// operations — against everything, in permille. Derived from
+		// simulated state only, so it is identical at every shard and
+		// lane-group setting.
+		if total := k.EventsFired() + k.boundaryOps; total > 0 {
+			serial := k.Lane.fired + k.boundaryOps
+			k.obs.Gauge("sim/serial_permille").Set(int64(serial * 1000 / total))
+		}
 	}
 	if liveCount > 0 {
 		var blocked []string
@@ -552,6 +723,80 @@ func (k *Kernel) runLanes() error {
 		return &DeadlockError{At: final, Blocked: blocked}
 	}
 	return nil
+}
+
+// runBoundary applies every operation logged this round in the canonical
+// (time, lane index, log index) order, then inserts the staged deposits
+// into their destination lanes on the worker pool.
+func (k *Kernel) runBoundary(x *laneExec, runnable []*Lane) {
+	// Collect the lanes holding deferred operations: window lanes from
+	// the runnable set, serial-context logs from deferLanes.
+	for _, ln := range runnable {
+		if len(ln.deferred) > 0 && !ln.inMerge {
+			ln.inMerge = true
+			k.deferLanes = append(k.deferLanes, ln)
+		}
+	}
+	if len(k.deferLanes) == 0 {
+		return
+	}
+
+	// k-way merge: each lane's log is already in (time, log index)
+	// order — lane time is monotone within a window — so a heap over
+	// the log heads keyed by (time, lane index) replays the canonical
+	// (time, lane, log) total order without sorting: O(N log k) against
+	// the former O(N log N) closure-comparator sort over every op.
+	h := k.merge[:0]
+	ops := 0
+	for _, ln := range k.deferLanes {
+		ops += len(ln.deferred)
+		h = append(h, mergeEnt{ln: ln, pos: 0})
+		mergeSiftUp(h, len(h)-1)
+	}
+	k.boundaryOps += uint64(ops)
+	k.obsBoundaryOps.Add(int64(ops))
+
+	// Serial phase: the operations' shared-state halves (link and MU
+	// booking, fault verdicts, traffic totals) run on this goroutine in
+	// canonical order; their ScheduleAbs deposits stage per destination.
+	k.inBoundary = true
+	for len(h) > 0 {
+		ln := h[0].ln
+		op := &ln.deferred[h[0].pos]
+		op.fn(op.at)
+		if next := h[0].pos + 1; next < len(ln.deferred) {
+			h[0].pos = next
+			mergeSiftDown(h, 0)
+		} else {
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			mergeSiftDown(h, 0)
+		}
+	}
+	k.merge = h[:0]
+
+	for _, ln := range k.deferLanes {
+		for i := range ln.deferred {
+			ln.deferred[i] = deferredOp{} // release closures to the GC
+		}
+		ln.deferred = ln.deferred[:0]
+		ln.inMerge = false
+	}
+	k.deferLanes = k.deferLanes[:0]
+
+	// Parallel phase: deposits to disjoint destination lanes commute —
+	// each touches only its lane's heap and seq counter — so the worker
+	// pool inserts them concurrently; within one lane the staged order
+	// is the canonical order, preserving every seq tie-break.
+	if len(k.stagedLanes) > 0 {
+		k.runPhase(x, k.stagedLanes, true)
+		for _, ln := range k.stagedLanes {
+			k.markDirty(ln)
+		}
+		k.stagedLanes = k.stagedLanes[:0]
+	}
+	k.inBoundary = false
 }
 
 // mergeLaneObs folds every lane's child registry into the parent, in

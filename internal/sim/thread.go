@@ -86,14 +86,13 @@ func (k *Kernel) spawnOn(ln *Lane, name string, fn func(*Thread)) *Thread {
 	}()
 	ln.scheduleThread(0, t)
 	// A spawn from outside any window (setup code, a coordinator event)
-	// may activate an idle lane; spawns from inside a window come from
-	// the lane's own threads, so the lane is already active and running.
+	// may wake an idle lane; its horizon-tree leaf is stale until the
+	// next round start. Spawns from inside a window come from the lane's
+	// own threads, which already hold the lane's leaf dirty via the
+	// runnable set.
 	if k.multi && ln != &k.Lane && !k.inWindow.Load() {
 		k.laneInserted = true
-		if !ln.active {
-			ln.active = true
-			k.activeLanes = append(k.activeLanes, ln)
-		}
+		k.markDirty(ln)
 	}
 	return t
 }

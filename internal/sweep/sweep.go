@@ -66,6 +66,13 @@ type Ctx struct {
 	// the legacy single-queue engine). Purely an execution knob: shard
 	// count never changes a simulation's results.
 	Shards int
+	// LaneGroup is the engine's lane-execution grain, forwarded to
+	// armci.Config.LaneGroup (0 = auto from nodes and Shards). Execution
+	// knob only — results are invariant across settings.
+	LaneGroup int
+	// SerialBoundary forwards armci.Config.SerialBoundary: the serial
+	// boundary-deposit oracle for equivalence testing. Execution only.
+	SerialBoundary bool
 }
 
 // Cfg attaches the run's registry, worker pool, and shard budget to a
@@ -74,6 +81,8 @@ func (c *Ctx) Cfg(cfg armci.Config) armci.Config {
 	cfg.Obs = c.Reg
 	cfg.Pool = c.Pool
 	cfg.Shards = c.Shards
+	cfg.LaneGroup = c.LaneGroup
+	cfg.SerialBoundary = c.SerialBoundary
 	return cfg
 }
 
@@ -115,10 +124,12 @@ func CoreBudget(workers, shards int) (int, int) {
 // cheap; build one per (worker count, parent registry) setting. Map calls
 // on one engine must not overlap.
 type Engine struct {
-	workers int
-	shards  int
-	parent  *obs.Registry
-	pools   []*armci.Pool
+	workers   int
+	shards    int
+	laneGroup int
+	serialBnd bool
+	parent    *obs.Registry
+	pools     []*armci.Pool
 }
 
 // New returns an engine running tasks on the given number of workers
@@ -147,6 +158,14 @@ func (e *Engine) Workers() int { return e.workers }
 // Shards returns the per-run lane worker budget after CoreBudget
 // resolution.
 func (e *Engine) Shards() int { return e.shards }
+
+// SetLaneGroup sets the lane-execution grain forwarded to every run
+// (armci.Config.LaneGroup; 0 = auto). Call before Map.
+func (e *Engine) SetLaneGroup(g int) { e.laneGroup = g }
+
+// SetSerialBoundary forwards the serial boundary-deposit oracle flag to
+// every run. Call before Map.
+func (e *Engine) SetSerialBoundary(b bool) { e.serialBnd = b }
 
 func (e *Engine) pool(w int) *armci.Pool {
 	if e.pools[w] == nil {
@@ -208,7 +227,7 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 		workers = n
 	}
 	if workers <= 1 {
-		c := &Ctx{Pool: e.pool(0), Shards: e.shards}
+		c := &Ctx{Pool: e.pool(0), Shards: e.shards, LaneGroup: e.laneGroup, SerialBoundary: e.serialBnd}
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				return out
@@ -228,7 +247,7 @@ func MapCtx[T any](e *Engine, ctx context.Context, n int, fn func(c *Ctx, i int)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c := &Ctx{Pool: e.pool(w), Shards: e.shards}
+			c := &Ctx{Pool: e.pool(w), Shards: e.shards, LaneGroup: e.laneGroup, SerialBoundary: e.serialBnd}
 			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {

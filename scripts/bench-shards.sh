@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench-shards: the intra-run lane scaling gate.
+#
+# Runs the fig9 p=16384 shard-scaling scenario (serial lane engine vs
+# 2/4 lane workers), which first asserts the simulated latency is
+# bit-identical at every shard count and then records best-of-N wall
+# clocks. With -gate-shards, simbench exits 1 when any shardsN row is
+# >10% slower than its serial baseline on a host with GOMAXPROCS >= N;
+# on smaller hosts the rows are reported but not gated (extra lane
+# workers just multiplex there, so slowdowns measure the host, not the
+# engine). GOMAXPROCS is logged up front and recorded in the report's
+# note field so the rows are interpretable later.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "bench-shards: host cores (GOMAXPROCS default) = ${GOMAXPROCS:-$(nproc 2>/dev/null || echo '?')}"
+exec go run ./cmd/simbench -only '^fig9_p16384' -gate-shards -out ''
