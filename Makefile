@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet check bench bench-smoke bench-shards chaos-smoke race-sweep race-shards serve-smoke live-smoke compose-smoke figures report scf clean
+.PHONY: all test vet check bench bench-smoke bench-shards chaos-smoke race-sweep race-shards serve-smoke live-smoke compose-smoke cluster-smoke figures report scf clean
 
 all: vet test
 
@@ -111,6 +111,15 @@ live-smoke:
 # render identical to what the servers cached.
 compose-smoke:
 	sh scripts/compose-smoke.sh
+
+# Cluster gate: a 3-replica simnet cluster under skewed simload with the
+# hot key's owner SIGKILLed mid-run — zero failed requests after
+# retries, every byte identical to a solo cold run, peer fills and
+# proxied jobs observed on the survivors — then a restart over a
+# survivor's store directory serving its keys from disk (disk_hits > 0)
+# byte-identical via /v1/results/{hash}.
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
 
 # Regenerate every figure/table at full scale into results/.
 figures:

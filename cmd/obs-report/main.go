@@ -14,6 +14,14 @@
 // delivered sweep point, then the terminal result:
 //
 //	obs-report -follow http://127.0.0.1:8080/runs/<id>
+//
+// With -serve, obs-report reads a simd /metrics endpoint (a URL, or a
+// saved Prometheus text file) and renders the serving-layer state: the
+// request/cache counters plus a cluster section — where results were
+// served from (hot LRU, disk store, a peer's copy, proxied to the ring
+// owner, executed cold) and the persistent store's health:
+//
+//	obs-report -serve http://127.0.0.1:8081/metrics
 package main
 
 import (
@@ -42,10 +50,18 @@ func main() {
 	path := flag.String("metrics", "results/metrics.txt", "metrics dump to read")
 	topN := flag.Int("top", 10, "how many hottest links to list")
 	followURL := flag.String("follow", "", "follow a live simd run instead: URL of /runs/<id>")
+	serveSrc := flag.String("serve", "", "render a simd /metrics exposition instead: URL or saved Prometheus text file")
 	flag.Parse()
 
 	if *followURL != "" {
 		if err := follow(*followURL, *topN); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveSrc != "" {
+		if err := serveReport(*serveSrc); err != nil {
 			fmt.Fprintf(os.Stderr, "obs-report: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// serveReport renders one simd replica's /metrics exposition (fetched
+// live from a URL, or read from a saved Prometheus text file) as a
+// serving-layer summary. The centerpiece is the cluster section: a
+// breakdown of where responses came from — hot LRU, the disk store, a
+// peer's copy, proxied to the ring owner, or executed cold — plus the
+// persistent store's entry/quarantine state and the fill/proxy error
+// counters that flag a sick ring.
+func serveReport(src string) error {
+	text, err := readExposition(src)
+	if err != nil {
+		return err
+	}
+	fams, err := parseExposition(text)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# simd serving report (%s)\n", src)
+	renderCluster(fams)
+	renderServeFamilies(fams)
+	return nil
+}
+
+// readExposition loads Prometheus text from an http(s) URL or a file.
+// A bare host:port is accepted as shorthand for http://host:port/metrics.
+func readExposition(src string) ([]byte, error) {
+	url := ""
+	switch {
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		url = src
+	case !strings.ContainsAny(src, "/\\") && strings.Contains(src, ":"):
+		url = "http://" + src + "/metrics"
+	}
+	if url == "" {
+		return os.ReadFile(src)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// promFamily aggregates every series of one Prometheus metric family:
+// labeled series sum into one value (good for counters, which is what
+// the cluster section reads; gauges in this codebase are single-series).
+type promFamily struct {
+	kind   string // from "# TYPE", or "untyped"
+	series int
+	value  float64
+}
+
+// parseExposition reads Prometheus text format (version 0.0.4): "# TYPE
+// name kind" comments followed by "name{labels} value" samples.
+// Histogram _bucket series are dropped (cumulative buckets must not be
+// summed); _sum and _count keep their own families so latency means
+// stay derivable.
+func parseExposition(text []byte) (map[string]*promFamily, error) {
+	fams := map[string]*promFamily{}
+	kinds := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(string(text)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				kinds[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue // +Inf / NaN / malformed samples don't kill the report
+		}
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{}
+			fams[name] = f
+		}
+		f.series++
+		f.value += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, f := range fams {
+		f.kind = "untyped"
+		if k, ok := kinds[name]; ok {
+			f.kind = k
+		} else if k, ok := kinds[strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")]; ok {
+			f.kind = k
+		}
+	}
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("no metric samples found")
+	}
+	return fams, nil
+}
+
+// renderCluster prints the cluster / persistent-store section: the
+// response-source breakdown and the store + ring health counters. The
+// source tiers are disjoint by construction of serveJob's routing order
+// (LRU -> disk -> proxy -> shared flight -> peer fill -> cold run), so
+// percentages are of their sum.
+func renderCluster(fams map[string]*promFamily) {
+	get := func(name string) int64 {
+		if f := fams[name]; f != nil {
+			return int64(f.value)
+		}
+		return 0
+	}
+
+	hot := get("serve_cache_hits")
+	disk := get("serve_disk_hits")
+	peer := get("serve_peer_fills")
+	proxied := get("serve_proxied_jobs")
+	shared := get("serve_flight_shared")
+	// Every cold execution first missed the disk tier and was neither
+	// proxied away nor answered by a peer or a shared in-flight run.
+	cold := get("serve_disk_misses") - proxied - peer - shared
+	if cold < 0 {
+		cold = 0
+	}
+	total := hot + disk + peer + proxied + shared + cold
+
+	fmt.Println("\n## cluster")
+	fmt.Println()
+	if total == 0 {
+		fmt.Println("no jobs served yet")
+	} else {
+		pct := func(v int64) string {
+			return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+		}
+		fmt.Println("| response source | jobs | share |")
+		fmt.Println("|---|---:|---:|")
+		fmt.Printf("| hot LRU hit | %d | %s |\n", hot, pct(hot))
+		fmt.Printf("| disk store hit | %d | %s |\n", disk, pct(disk))
+		fmt.Printf("| filled from peer | %d | %s |\n", peer, pct(peer))
+		fmt.Printf("| proxied to ring owner | %d | %s |\n", proxied, pct(proxied))
+		fmt.Printf("| shared in-flight run | %d | %s |\n", shared, pct(shared))
+		fmt.Printf("| executed cold | %d | %s |\n", cold, pct(cold))
+		fmt.Printf("\nanswered without executing: %s of %d jobs\n",
+			pct(total-cold), total)
+	}
+	fmt.Printf("store: %d entries, %d quarantined, %d put errors, %d exports served\n",
+		get("serve_store_entries"), get("serve_store_quarantined"),
+		get("serve_store_put_errors"), get("serve_result_exports"))
+	if errs := get("serve_proxy_errors") + get("serve_peer_fill_errors"); errs > 0 ||
+		get("serve_peer_fill_misses") > 0 {
+		fmt.Printf("ring: %d proxy errors (fell through to local), %d peer-fill errors, %d peer-fill misses\n",
+			get("serve_proxy_errors"), get("serve_peer_fill_errors"),
+			get("serve_peer_fill_misses"))
+	}
+}
+
+// renderServeFamilies prints every family in the exposition, one table,
+// sorted — the raw material behind the cluster summary plus whatever
+// else the replica exports (queue depth, latency sums, run states).
+func renderServeFamilies(fams map[string]*promFamily) {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Println("\n## all families")
+	fmt.Println()
+	fmt.Println("| family | kind | series | value |")
+	fmt.Println("|---|---|---:|---:|")
+	for _, name := range names {
+		f := fams[name]
+		val := strconv.FormatFloat(f.value, 'f', -1, 64)
+		fmt.Printf("| %s | %s | %d | %s |\n", name, f.kind, f.series, val)
+	}
+}

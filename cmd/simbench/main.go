@@ -16,7 +16,11 @@
 //     on this machine), verifying CSV byte-identity along the way. The
 //     fig9_p16384_* rows time one large simulation on the serial lane
 //     engine versus 2/4 intra-run lane workers (-shards), verifying the
-//     simulated latency is bit-identical at every shard count.
+//     simulated latency is bit-identical at every shard count. The
+//     serve_cache / compose_2phase / cluster_fill_* rows time the
+//     serving layer's answer tiers (hot LRU, disk-store restart, peer
+//     fill) against cold execution of the same job, byte-identity
+//     enforced throughout.
 //
 // -smoke runs only the micro benches and fails (exit 1) when a
 // zero-allocation invariant regresses; CI runs it on every push.
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -44,6 +49,7 @@ import (
 
 	"repro/internal/armci"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/network"
 	"repro/internal/nwchem"
 	"repro/internal/serve"
@@ -267,6 +273,7 @@ var only *regexp.Regexp
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path (empty: stdout only)")
+	merge := flag.Bool("merge", false, "merge this run's rows into an existing -out file instead of replacing it (rows not re-run keep their old values); lets -only refresh a subset of BENCH_sim.json")
 	smoke := flag.Bool("smoke", false, "micro benches only; exit 1 on alloc regression")
 	onlyPat := flag.String("only", "", "run only benches matching this regexp")
 	shards := flag.Int("shards", 0, "lane workers inside each harness simulation (0 = serial lane engine, -1 = legacy single-queue engine); output is byte-identical at any value")
@@ -455,6 +462,7 @@ func main() {
 		interrupted()
 		serveCache(reps)
 		composeCache(reps)
+		clusterFill(reps)
 	}
 
 	interrupted()
@@ -522,6 +530,21 @@ func main() {
 	}
 
 	if *out != "" {
+		if *merge {
+			// Keep every row the selected benches did not re-measure, so a
+			// partial run (-only) refreshes its subset without discarding
+			// the rest of the committed baseline.
+			if old, err := os.ReadFile(*out); err == nil {
+				var prev report
+				if err := json.Unmarshal(old, &prev); err == nil {
+					for n, r := range prev.Benches {
+						if _, ok := reps[n]; !ok {
+							reps[n] = r
+						}
+					}
+				}
+			}
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -676,6 +699,160 @@ func composeCache(reps map[string]result) {
 		BaselineNsPerOp: float64(coldNs.Nanoseconds()),
 		Speedup:         float64(coldNs) / float64(best),
 		Kind:            "scenario",
+	}
+}
+
+// clusterFill measures the two persistence tiers the cluster adds below
+// the hot LRU, each against the cold execution of the same fig9 job:
+//
+//   - cluster_fill_disk: a replica restarting over an existing store
+//     directory — a fresh server (empty LRU) per repetition, so every
+//     timed request is a verified disk load, never a masked LRU hit;
+//   - cluster_fill_peer: a replica pulling the artifact from a peer's
+//     /v1/results export — a fresh storeless server per repetition,
+//     posted with the cluster forward header set so routing is
+//     suppressed and the request must take the peer-fill path.
+//
+// Every body served from either tier must be byte-identical to the cold
+// body; a mismatch is a determinism violation and exits 1. NsPerOp is
+// the tier's best HTTP round trip, BaselineNsPerOp the cold one, so
+// speedup_vs_baseline is what the tier saves over re-executing.
+func clusterFill(reps map[string]result) {
+	if skip("cluster_fill_disk") && skip("cluster_fill_peer") {
+		return
+	}
+	const job = `{"scenario":"fig9","params":{"procs":[2,16],"ops_each":4}}`
+	const repsPerTier = 10
+
+	post := func(url string, hdr map[string]string) ([]byte, string, time.Duration) {
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/run", strings.NewReader(job))
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		t0 := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("cluster_fill: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body)))
+		}
+		return body, resp.Header.Get("X-Cache"), time.Since(t0)
+	}
+	mustTier := func(name, got, want string) {
+		if got != want {
+			fatal(fmt.Errorf("%s: request served from %q, want %q", name, got, want))
+		}
+	}
+	mustBytes := func(name string, got, want []byte) {
+		if !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr, "DETERMINISM VIOLATION: %s body differs from the cold body\n", name)
+			os.Exit(1)
+		}
+	}
+	newServer := func(opts serve.Options) *serve.Server {
+		opts.Workers = 1
+		opts.SweepWorkers = runtime.GOMAXPROCS(0)
+		srv, err := serve.NewServer(opts)
+		if err != nil {
+			fatal(err)
+		}
+		return srv
+	}
+
+	// The export peer: one long-lived replica on a real port whose hot
+	// LRU holds the artifact. Its cold run is the baseline both tiers are
+	// measured against.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	peerAddr := ln.Addr().String()
+	peerSrv := newServer(serve.Options{})
+	peerHTTP := &http.Server{Handler: peerSrv.Handler()}
+	go peerHTTP.Serve(ln)
+	defer func() {
+		peerHTTP.Close()
+		peerSrv.Close()
+	}()
+
+	coldBody, src, coldNs := post("http://"+peerAddr, nil)
+	mustTier("cluster_fill", src, "miss")
+
+	if !skip("cluster_fill_disk") {
+		dir, err := os.MkdirTemp("", "simbench-store-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+
+		// Populate the store once, then time restarts over it.
+		seed := newServer(serve.Options{StoreDir: dir})
+		ts := httptest.NewServer(seed.Handler())
+		body, src, _ := post(ts.URL, nil)
+		mustTier("cluster_fill_disk seed", src, "miss")
+		mustBytes("cluster_fill_disk seed", body, coldBody)
+		ts.Close()
+		seed.Close()
+
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < repsPerTier; i++ {
+			srv := newServer(serve.Options{StoreDir: dir})
+			ts := httptest.NewServer(srv.Handler())
+			body, src, d := post(ts.URL, nil)
+			ts.Close()
+			srv.Close()
+			mustTier("cluster_fill_disk", src, "disk")
+			mustBytes("cluster_fill_disk", body, coldBody)
+			if d < best {
+				best = d
+			}
+		}
+		reps["cluster_fill_disk"] = result{
+			NsPerOp:         float64(best.Nanoseconds()),
+			BaselineNsPerOp: float64(coldNs.Nanoseconds()),
+			Speedup:         float64(coldNs) / float64(best),
+			Kind:            "scenario",
+		}
+	}
+
+	if !skip("cluster_fill_peer") {
+		// The fetcher's member name is never dialed (the forward header
+		// suppresses proxying and peer fill skips self), so a placeholder
+		// address keeps the ring valid without another listener.
+		const self = "127.0.0.1:1"
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < repsPerTier; i++ {
+			srv := newServer(serve.Options{
+				Self:        self,
+				Peers:       []string{peerAddr, self},
+				PeerTimeout: 5 * time.Second,
+			})
+			ts := httptest.NewServer(srv.Handler())
+			body, src, d := post(ts.URL, map[string]string{cluster.ForwardHeader: "bench"})
+			ts.Close()
+			srv.Close()
+			mustTier("cluster_fill_peer", src, "peer")
+			mustBytes("cluster_fill_peer", body, coldBody)
+			if d < best {
+				best = d
+			}
+		}
+		reps["cluster_fill_peer"] = result{
+			NsPerOp:         float64(best.Nanoseconds()),
+			BaselineNsPerOp: float64(coldNs.Nanoseconds()),
+			Speedup:         float64(coldNs) / float64(best),
+			Kind:            "scenario",
+		}
 	}
 }
 

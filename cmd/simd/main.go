@@ -19,6 +19,20 @@
 // a second listener serving net/http/pprof (kept off the service port so
 // profiling is never exposed where jobs are).
 //
+// -store-dir enables the persistent result store: artifacts write
+// through to a content-addressed on-disk layout and survive restarts
+// (a cache miss consults disk, verified by re-hash, before executing).
+//
+// -self/-peers join a static cluster: job keys map onto a
+// consistent-hash ring, non-owned submissions proxy to the owner, and a
+// local cold miss pulls the artifact from a peer (byte-verified) before
+// paying for execution. Every replica lists the same peer set:
+//
+//	simd -addr 127.0.0.1:8081 -self 127.0.0.1:8081 \
+//	     -peers 127.0.0.1:8081,127.0.0.1:8082 -store-dir /var/lib/simd/a
+//
+// (cmd/simnet launches and supervises such a cluster in one command.)
+//
 // On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new jobs
 // are refused, attached SSE streams get a drain event and close,
 // in-flight requests finish (up to -drain-timeout), then the process
@@ -34,6 +48,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +71,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	logRequests := flag.Bool("log", false, "log one structured line per request to stderr")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty = memory-only)")
+	self := flag.String("self", "", "this replica's advertised host:port in the cluster")
+	peers := flag.String("peers", "", "comma-separated cluster membership, -self included (empty = solo)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "budget for one peer cache-fill attempt")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -66,11 +85,25 @@ func main() {
 		SweepWorkers: *sweepWorkers,
 		Shards:       *shards,
 		LaneGroup:    *laneGroup,
+		StoreDir:     *storeDir,
+		Self:         *self,
+		PeerTimeout:  *peerTimeout,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Peers = append(opts.Peers, p)
+			}
+		}
 	}
 	if *logRequests {
 		opts.AccessLog = os.Stderr
 	}
-	srv := serve.New(opts)
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(2)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *debugAddr != "" {
@@ -106,7 +139,7 @@ func main() {
 	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	err := httpSrv.Shutdown(shutCtx)
+	err = httpSrv.Shutdown(shutCtx)
 	srv.Close()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "simd: drain incomplete: %v\n", err)

@@ -25,6 +25,28 @@
 // Exit status is nonzero on any transport error, HTTP error status,
 // byte mismatch against the cold copy, a streamed-artifact mismatch, or
 // (when -min-hit-ratio is set) a skew-phase hit ratio below the floor.
+//
+// # Cluster / failover mode
+//
+// With -addrs A,B,C (a simd cluster, e.g. launched by cmd/simnet) every
+// load request rotates across the replicas, and transport errors, 502s,
+// and 503s rotate to the next replica instead of failing — a request
+// only counts as an error once every replica refused it. X-Cache values
+// hit, disk, and peer all count toward the hit ratio (they are all
+// cache service, just different tiers).
+//
+// The failover drill: -kill maps replica addresses to pids (as printed
+// by simnet) and -kill-after N sends SIGKILL to the replica that owns
+// hot key 0 — learned from the cold phase's X-Owner header — after N
+// skew-phase requests. After the load phases, a verify sweep posts
+// every key to every surviving replica and demands bytes identical to
+// the cold-phase golden copy; with the owner dead this is what forces
+// survivors through the proxy-fall-through → peer-fill → cold paths.
+//
+// -digest FILE writes one "config-hash artifact-sha256" line per key
+// (key order), so a later process — e.g. a restarted replica serving
+// from its disk store — can be checked for byte-identity against this
+// run without re-deriving configs.
 package main
 
 import (
@@ -40,11 +62,78 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
+
+// pool is the replica set load requests rotate over. Solo mode is a
+// pool of one.
+type pool struct {
+	addrs []string
+	next  atomic.Int64
+}
+
+func (p *pool) pick(i int) string { return p.addrs[i%len(p.addrs)] }
+
+// postArtifact posts one job body, rotating across replicas. Transport
+// errors and gateway failures (502, 503) move to the next replica —
+// the failover drill kills one mid-run, and a closed-loop client must
+// ride through — while 429 backs off and retries per the admission
+// contract. Only a full deadline of refusals is an error.
+func postArtifact(client *http.Client, p *pool, body string) (*http.Response, []byte, error) {
+	start := int(p.next.Add(1))
+	deadline := time.Now().Add(2 * time.Minute)
+	var lastErr error
+	for a := 0; ; a++ {
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("no replica served the request: %v", lastErr)
+		}
+		addr := p.pick(start + a)
+		resp, err := client.Post("http://"+addr+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("HTTP %d from %s", resp.StatusCode, addr)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		case http.StatusTooManyRequests:
+			lastErr = fmt.Errorf("HTTP 429 from %s", addr)
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		return resp, rb, nil
+	}
+}
+
+// parseKillMap parses "addr=pid,addr=pid" (simnet's replica lines).
+func parseKillMap(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, pair := range strings.Split(spec, ",") {
+		addr, pidStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -kill entry %q (want addr=pid)", pair)
+		}
+		pid, err := strconv.Atoi(pidStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad pid in -kill entry %q: %w", pair, err)
+		}
+		out[addr] = pid
+	}
+	return out, nil
+}
 
 type key struct {
 	name string // scenario
@@ -329,7 +418,10 @@ func (s *stats) record(d time.Duration, cacheHdr string) {
 	s.latencies = append(s.latencies, d)
 	s.mu.Unlock()
 	atomic.AddInt64(&s.total, 1)
-	if cacheHdr == "hit" {
+	switch cacheHdr {
+	case "hit", "disk", "peer":
+		// All cache service, just different tiers: hot LRU, own disk
+		// store, another replica's copy.
 		atomic.AddInt64(&s.hits, 1)
 	}
 }
@@ -359,6 +451,10 @@ func (s *stats) report(name string, elapsed time.Duration) (hitRatio float64) {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "simd address (host:port)")
+	addrsFlag := flag.String("addrs", "", "comma-separated simd cluster addresses (overrides -addr; requests rotate and fail over)")
+	digestFile := flag.String("digest", "", "write a 'config-hash artifact-sha256' manifest of the cold-phase keys")
+	killSpec := flag.String("kill", "", "addr=pid,... replica map for the failover drill (pids as printed by simnet)")
+	killAfter := flag.Int("kill-after", 0, "SIGKILL hot key 0's owner after this many skew requests (0 = never; needs -kill)")
 	conc := flag.Int("c", 4, "concurrent closed-loop clients")
 	n := flag.Int("n", 200, "requests in the skew phase")
 	nkeys := flag.Int("keys", 8, "distinct job configs")
@@ -373,24 +469,40 @@ func main() {
 		"also verify POST /v1/compose: cold/cached/respelled responses must be byte-identical")
 	flag.Parse()
 
-	base := "http://" + *addr
-	client := &http.Client{Timeout: 2 * time.Minute}
-
-	// Wait for the daemon.
-	deadline := time.Now().Add(*wait)
-	for {
-		resp, err := client.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				break
+	p := &pool{addrs: []string{*addr}}
+	if *addrsFlag != "" {
+		p.addrs = nil
+		for _, a := range strings.Split(*addrsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				p.addrs = append(p.addrs, a)
 			}
 		}
-		if time.Now().After(deadline) {
-			fmt.Fprintf(os.Stderr, "simload: daemon at %s not healthy after %v (%v)\n", *addr, *wait, err)
-			os.Exit(1)
+	}
+	killMap, err := parseKillMap(*killSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simload: %v\n", err)
+		os.Exit(2)
+	}
+	base := "http://" + p.addrs[0]
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Wait for every replica.
+	deadline := time.Now().Add(*wait)
+	for _, a := range p.addrs {
+		for {
+			resp, err := client.Get("http://" + a + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "simload: daemon at %s not healthy after %v (%v)\n", a, *wait, err)
+				os.Exit(1)
+			}
+			time.Sleep(100 * time.Millisecond)
 		}
-		time.Sleep(100 * time.Millisecond)
 	}
 
 	catalog, err := fetchCatalog(client, base)
@@ -399,7 +511,9 @@ func main() {
 		os.Exit(1)
 	}
 	keys := buildKeys(catalog, strings.Split(*scenarioList, ","), *nkeys)
-	golden := make([][]byte, len(keys)) // cold-phase bodies, the byte-identity reference
+	golden := make([][]byte, len(keys))  // cold-phase bodies, the byte-identity reference
+	hashes := make([]string, len(keys))  // X-Config-Hash per key (digest manifest)
+	owners := make([]string, len(keys))  // X-Owner per key (cluster kill targeting)
 	failed := atomic.Bool{}
 
 	if *compose {
@@ -409,23 +523,13 @@ func main() {
 		}
 	}
 
-	var do func(k int, st *stats)
-	do = func(k int, st *stats) {
+	do := func(k int, st *stats, against *pool) {
 		t0 := time.Now()
-		resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(keys[k].body))
+		resp, body, err := postArtifact(client, against, keys[k].body)
 		if err != nil {
 			atomic.AddInt64(&st.errs, 1)
 			failed.Store(true)
 			fmt.Fprintf(os.Stderr, "simload: key %d: %v\n", k, err)
-			return
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusTooManyRequests {
-			// Admission rejection is back-pressure, not failure: honor it
-			// and retry.
-			time.Sleep(200 * time.Millisecond)
-			do(k, st)
 			return
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -469,15 +573,13 @@ func main() {
 			}
 
 			t0 := time.Now()
-			resp, err := client.Post(base+"/v1/run", "application/json", strings.NewReader(keys[k].body))
+			resp, body, err := postArtifact(client, p, keys[k].body)
 			if err != nil {
 				atomic.AddInt64(&coldStats.errs, 1)
 				failed.Store(true)
 				fmt.Fprintf(os.Stderr, "simload: cold key %d: %v\n", k, err)
 				return
 			}
-			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				atomic.AddInt64(&coldStats.errs, 1)
 				failed.Store(true)
@@ -485,6 +587,8 @@ func main() {
 				return
 			}
 			golden[k] = body
+			hashes[k] = resp.Header.Get("X-Config-Hash")
+			owners[k] = resp.Header.Get("X-Owner")
 			coldStats.record(time.Since(t0), resp.Header.Get("X-Cache"))
 
 			if attCh != nil {
@@ -506,6 +610,52 @@ func main() {
 	wg.Wait()
 	coldStats.report("cold", time.Since(t0))
 
+	if *digestFile != "" {
+		var man strings.Builder
+		for k := range keys {
+			if golden[k] == nil {
+				continue
+			}
+			fmt.Fprintf(&man, "%s %x\n", hashes[k], sha256.Sum256(golden[k]))
+		}
+		if err := os.WriteFile(*digestFile, []byte(man.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "simload: write digest: %v\n", err)
+			failed.Store(true)
+		}
+	}
+
+	// The failover drill: after -kill-after skew requests, SIGKILL the
+	// replica the ring says owns hot key 0 (its process group — simnet
+	// replicas run under `go run`). Killing the hot key's owner, not a
+	// random replica, is what guarantees the survivors must re-home that
+	// key through fall-through, peer fill, and cold execution.
+	var skewCount atomic.Int64
+	var killOnce sync.Once
+	maybeKill := func() {
+		if *killAfter <= 0 || len(killMap) == 0 {
+			return
+		}
+		if skewCount.Add(1) != int64(*killAfter) {
+			return
+		}
+		killOnce.Do(func() {
+			target := owners[0]
+			pid, ok := killMap[target]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "simload: key 0 owner %q not in -kill map\n", target)
+				failed.Store(true)
+				return
+			}
+			if err := syscall.Kill(-pid, syscall.SIGKILL); err != nil {
+				fmt.Fprintf(os.Stderr, "simload: kill %s (pgid %d): %v\n", target, pid, err)
+				failed.Store(true)
+				return
+			}
+			fmt.Printf("kill     replica %s (pid %d, owner of hot key 0) after %d skew requests\n",
+				target, pid, *killAfter)
+		})
+	}
+
 	// Phase 2: skewed closed loop. Each client draws keys from a private
 	// deterministic stream.
 	skewStats := &stats{}
@@ -517,16 +667,56 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			for i := 0; i < perClient; i++ {
+				maybeKill()
 				k := 0
 				if rng.Float64() >= *hot {
 					k = rng.Intn(len(keys))
 				}
-				do(k, skewStats)
+				do(k, skewStats, p)
 			}
 		}(c)
 	}
 	wg.Wait()
 	hitRatio := skewStats.report("skew", time.Since(t0))
+
+	// Cluster verify sweep: every key posted to every replica still
+	// alive must answer the cold-phase bytes. With a replica freshly
+	// killed this forces every surviving replica to materialize the dead
+	// member's keys (proxy fall-through → peer fill → cold execution) —
+	// and proves the cluster serves every key byte-identically to a
+	// single-node cold run.
+	if len(p.addrs) > 1 {
+		verifyStats := &stats{}
+		t0 = time.Now()
+		alive := 0
+		for _, a := range p.addrs {
+			resp, err := client.Get("http://" + a + "/healthz")
+			if err != nil {
+				continue // dead replica (e.g. the drill's victim): skip
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue
+			}
+			alive++
+			one := &pool{addrs: []string{a}}
+			for k := range keys {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(k int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					do(k, verifyStats, one)
+				}(k)
+			}
+			wg.Wait()
+		}
+		verifyStats.report("verify", time.Since(t0))
+		if alive == 0 {
+			fmt.Fprintln(os.Stderr, "simload: verify sweep found no live replicas")
+			failed.Store(true)
+		}
+	}
 
 	if *minHitRatio >= 0 && hitRatio < *minHitRatio {
 		fmt.Fprintf(os.Stderr, "simload: skew hit ratio %.2f below floor %.2f\n", hitRatio, *minHitRatio)

@@ -1,0 +1,177 @@
+// Command simnet launches and supervises a local simd cluster: N
+// replicas on consecutive ports, each with the full static peer list
+// and its own persistent store directory.
+//
+//	simnet -n 3 -base-port 8081 -store-root /tmp/simnet
+//
+// emits one machine-parseable line per replica as it becomes healthy,
+//
+//	simnet: replica 0 addr=127.0.0.1:8081 pid=12345 store=/tmp/simnet/r0
+//
+// then "simnet: cluster ready" once every /healthz answers 200.
+// scripts/cluster-smoke.sh and simload's failover mode parse these
+// lines to find addresses and kill targets.
+//
+// simnet deliberately does NOT restart dead replicas: the failover
+// drill kills one mid-run and asserts the survivors carry its keys, so
+// a supervisor that resurrected it would mask exactly the behaviour
+// under test. On SIGINT/SIGTERM the signal is forwarded to every
+// replica (triggering their graceful drain) and simnet waits for them.
+// If a replica dies on its own, simnet reports it and keeps the rest
+// running; the exit status reflects how many replicas were lost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	n := flag.Int("n", 3, "replica count")
+	host := flag.String("host", "127.0.0.1", "bind host for every replica")
+	basePort := flag.Int("base-port", 8081, "first replica's port; replica i gets base-port+i")
+	storeRoot := flag.String("store-root", "", "root for per-replica store dirs (empty = temp dir)")
+	simdBin := flag.String("simd", "", "simd binary (empty = `go run ./cmd/simd` from the repo root)")
+	workers := flag.Int("workers", 2, "per-replica -workers")
+	readyTimeout := flag.Duration("ready-timeout", 60*time.Second, "budget for every replica to answer /healthz")
+	logRequests := flag.Bool("log", false, "pass -log to every replica")
+	flag.Parse()
+
+	if *n < 2 {
+		fmt.Fprintln(os.Stderr, "simnet: -n must be at least 2 (a cluster of one is just simd)")
+		os.Exit(2)
+	}
+	root := *storeRoot
+	if root == "" {
+		var err error
+		root, err = os.MkdirTemp("", "simnet-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simnet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	addrs := make([]string, *n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("%s:%d", *host, *basePort+i)
+	}
+	peers := strings.Join(addrs, ",")
+
+	type replica struct {
+		idx   int
+		addr  string
+		store string
+		cmd   *exec.Cmd
+	}
+	reps := make([]*replica, *n)
+	for i := range reps {
+		store := filepath.Join(root, fmt.Sprintf("r%d", i))
+		args := []string{
+			"-addr", addrs[i], "-self", addrs[i], "-peers", peers,
+			"-store-dir", store, "-workers", fmt.Sprint(*workers),
+		}
+		if *logRequests {
+			args = append(args, "-log")
+		}
+		var cmd *exec.Cmd
+		if *simdBin != "" {
+			cmd = exec.Command(*simdBin, args...)
+		} else {
+			cmd = exec.Command("go", append([]string{"run", "./cmd/simd"}, args...)...)
+		}
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		// Each replica leads its own process group so a kill signal sent
+		// to the group reaches `go run`'s child binary too.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "simnet: start replica %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		reps[i] = &replica{idx: i, addr: addrs[i], store: store, cmd: cmd}
+	}
+
+	// Wait for health, announcing each replica as it comes up. The
+	// announced pid is the process-group leader: signalling -pid reaches
+	// the whole replica.
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(*readyTimeout)
+	for _, r := range reps {
+		for {
+			resp, err := client.Get("http://" + r.addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "simnet: replica %d (%s) never became healthy\n", r.idx, r.addr)
+				killAll(reps, func(rp *replica) *exec.Cmd { return rp.cmd })
+				os.Exit(1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Printf("simnet: replica %d addr=%s pid=%d store=%s\n",
+			r.idx, r.addr, r.cmd.Process.Pid, r.store)
+	}
+	fmt.Println("simnet: cluster ready")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	type exit struct {
+		idx int
+		err error
+	}
+	exits := make(chan exit, *n)
+	for _, r := range reps {
+		r := r
+		go func() { exits <- exit{r.idx, r.cmd.Wait()} }()
+	}
+
+	lost := 0
+	alive := *n
+	for alive > 0 {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "simnet: forwarding %v to %d replicas\n", s, alive)
+			for _, r := range reps {
+				if r.cmd.ProcessState == nil {
+					syscall.Kill(-r.cmd.Process.Pid, s.(syscall.Signal))
+				}
+			}
+		case e := <-exits:
+			alive--
+			if e.err != nil {
+				// Expected during the failover drill (simload kills one) and
+				// irrelevant during shutdown (drain exits 0).
+				fmt.Fprintf(os.Stderr, "simnet: replica %d exited: %v\n", e.idx, e.err)
+				lost++
+			} else {
+				fmt.Fprintf(os.Stderr, "simnet: replica %d exited cleanly\n", e.idx)
+			}
+		}
+	}
+	if lost > 0 {
+		os.Exit(1)
+	}
+}
+
+// killAll hard-kills every replica's process group; startup-failure
+// cleanup only.
+func killAll[T any](items []T, cmdOf func(T) *exec.Cmd) {
+	for _, it := range items {
+		if c := cmdOf(it); c != nil && c.Process != nil {
+			syscall.Kill(-c.Process.Pid, syscall.SIGKILL)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package cluster is the scale-out fabric for the serving layer: a
+// replicated consistent-hash ring that partitions the content-addressed
+// job-key space across a static set of simd replicas, plus the
+// byte-verified peer cache-fill client the replicas use to pull each
+// other's results.
+//
+// The design mirrors the paper's PGAS partitioning move: ownership of
+// the global address space (here, the config-hash key space) is split
+// statically across units, and remote access stays one-sided and cheap
+// (an idempotent GET against the owner, no coherence protocol). Because
+// every result is a pure function of its key — the determinism goldens
+// pin byte-identical artifacts for a config at any replica — any replica
+// is authoritative for any key it holds: routing is purely a capacity
+// and locality optimization, never a correctness requirement. A replica
+// that cannot reach a key's owner may execute the job itself and serve
+// bytes indistinguishable from the owner's.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node replication factor: how many points
+// each member contributes to the ring. 64 points per member keeps the
+// largest/smallest ownership arc within a few percent of even for small
+// fleets while the ring stays tiny (N*64 entries).
+const DefaultVnodes = 64
+
+// ForwardHeader marks a request that has already been routed once.
+// A replica receiving it serves the job locally no matter what its own
+// ring says, so disagreeing ring views (or a stale peer list) can never
+// bounce a request around the fleet.
+const ForwardHeader = "X-Cluster-From"
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a member.
+type point struct {
+	h      uint64
+	member string
+}
+
+// Ring is an immutable replicated consistent-hash ring over a static
+// member list. Safe for concurrent use (it is never mutated after New).
+type Ring struct {
+	self    string
+	members []string // sorted, unique
+	points  []point  // sorted by (h, member)
+}
+
+// NewRing builds the ring. self must appear in members (every replica
+// carries the full fleet list, itself included, so all replicas compute
+// identical rings). vnodes <= 0 selects DefaultVnodes.
+func NewRing(self string, members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member in peer list")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q not in peer list %v", self, uniq)
+	}
+	sort.Strings(uniq)
+	points := make([]point, 0, len(uniq)*vnodes)
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, point{h: pointHash(m, i), member: m})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].h != points[j].h {
+			return points[i].h < points[j].h
+		}
+		return points[i].member < points[j].member
+	})
+	return &Ring{self: self, members: uniq, points: points}, nil
+}
+
+// pointHash places virtual node i of a member on the circle. SHA-256
+// (not a fast non-crypto hash) because ring agreement across separately
+// started processes is worth more than nanoseconds on a once-per-request
+// lookup.
+func pointHash(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a job key on the circle. Keys are already hex SHA-256
+// config hashes, but hashing the string again costs nothing and keeps
+// the placement independent of the key encoding.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Self returns this replica's own member name.
+func (r *Ring) Self() string { return r.self }
+
+// Members returns the full fleet, sorted. The slice is shared; treat it
+// as immutable.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key: the first virtual node at or
+// clockwise after the key's position.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.ownerIdx(key)].member
+}
+
+func (r *Ring) ownerIdx(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Successors returns every member in ring order starting at key's owner:
+// the preference order for fetching key from the fleet. The owner comes
+// first; each later entry is the next distinct member clockwise, so a
+// dead owner degrades to the replica most likely to have taken the key
+// over.
+func (r *Ring) Successors(key string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i, n := r.ownerIdx(key), len(r.points); len(out) < len(r.members); i++ {
+		m := r.points[i%n].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

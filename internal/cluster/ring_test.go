@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return out
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing("a", nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing("a", []string{"b", "c"}, 0); err == nil {
+		t.Error("self outside the peer list accepted")
+	}
+	if _, err := NewRing("a", []string{"a", ""}, 0); err == nil {
+		t.Error("empty member accepted")
+	}
+	r, err := NewRing("a", []string{"b", "a", "b"}, 0)
+	if err != nil {
+		t.Fatalf("valid ring rejected: %v", err)
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("members = %v, want deduped sorted [a b]", got)
+	}
+	if r.Self() != "a" {
+		t.Errorf("self = %q", r.Self())
+	}
+}
+
+// Every replica must compute the same ring from the same peer list,
+// regardless of list order: ownership is a pure function of (members,
+// key).
+func TestRingDeterministicAcrossListOrder(t *testing.T) {
+	r1, _ := NewRing("m1", []string{"m1", "m2", "m3"}, 0)
+	r2, _ := NewRing("m2", []string{"m3", "m1", "m2"}, 0)
+	for _, k := range keys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("rings disagree on owner of %s: %s vs %s", k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+}
+
+// With 64 vnodes per member, no member's share of a large key set may be
+// pathologically small — the ring actually spreads load.
+func TestRingBalance(t *testing.T) {
+	members := []string{"m1", "m2", "m3", "m4"}
+	r, _ := NewRing("m1", members, 0)
+	count := map[string]int{}
+	ks := keys(8000)
+	for _, k := range ks {
+		count[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(count[m]) / float64(len(ks))
+		if share < 0.08 {
+			t.Errorf("member %s owns %.1f%% of keys (count %v) — ring badly unbalanced", m, 100*share, count)
+		}
+	}
+}
+
+// The consistency property that justifies the ring: removing one member
+// only reassigns the keys it owned; everything owned by survivors stays
+// put. A plain mod-N hash would reshuffle almost everything.
+func TestRingConsistencyOnMemberLoss(t *testing.T) {
+	full, _ := NewRing("m1", []string{"m1", "m2", "m3"}, 0)
+	reduced, _ := NewRing("m1", []string{"m1", "m3"}, 0)
+	moved := 0
+	for _, k := range keys(4000) {
+		was := full.Owner(k)
+		now := reduced.Owner(k)
+		if was != "m2" && was != now {
+			t.Fatalf("key %s owned by surviving %s moved to %s after m2 left", k, was, now)
+		}
+		if was == "m2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("m2 owned no keys out of 4000 — balance test should have caught this")
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r, _ := NewRing("m1", []string{"m1", "m2", "m3"}, 0)
+	for _, k := range keys(200) {
+		succ := r.Successors(k)
+		if len(succ) != 3 {
+			t.Fatalf("successors of %s = %v, want all 3 members", k, succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successors of %s start with %s, want owner %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("successors of %s repeat %s: %v", k, m, succ)
+			}
+			seen[m] = true
+		}
+	}
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"sync"
 )
 
@@ -19,9 +21,16 @@ type Cache struct {
 	evictions int64
 }
 
+// cacheEntry carries the artifact plus the metadata the cluster export
+// endpoint (GET /v1/results/{hash}) needs to serve it to a peer: the
+// scenario/format labels and the body's SHA-256, computed once at Put so
+// exports never re-hash on the serving side.
 type cacheEntry struct {
-	key  string
-	body []byte
+	key      string
+	body     []byte
+	scenario string
+	format   string
+	sha      string // hex SHA-256 of body
 }
 
 // NewCache builds a cache bounded to budget bytes of artifact payload
@@ -44,23 +53,41 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// GetEntry returns the artifact and its export metadata, marking the
+// entry most recently used. The /v1/results/{hash} endpoint uses this to
+// serve peers straight from the hot tier.
+func (c *Cache) GetEntry(key string) (body []byte, scenario, format, sha string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		return nil, "", "", "", false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.scenario, e.format, e.sha, true
+}
+
 // Put stores body under key and evicts least-recently-used entries until
 // the byte budget holds again. A body larger than the whole budget is
 // not stored at all (it would only evict everything else to then be
 // evicted itself). Re-putting an existing key replaces its body.
-func (c *Cache) Put(key string, body []byte) {
+func (c *Cache) Put(key string, body []byte, scenario, format string) {
 	if int64(len(body)) > c.budget {
 		return
 	}
+	sum := sha256.Sum256(body)
+	sha := hex.EncodeToString(sum[:])
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.used += int64(len(body)) - int64(len(e.body))
-		e.body = body
+		e.body, e.scenario, e.format, e.sha = body, scenario, format, sha
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = c.ll.PushFront(&cacheEntry{
+			key: key, body: body, scenario: scenario, format: format, sha: sha})
 		c.used += int64(len(body))
 	}
 	for c.used > c.budget {

@@ -61,8 +61,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(100)
 	body := func(n int) []byte { return []byte(strings.Repeat("x", n)) }
 
-	c.Put("a", body(40))
-	c.Put("b", body(40))
+	c.Put("a", body(40), "micro", "csv")
+	c.Put("b", body(40), "micro", "csv")
 	if entries, used, _ := c.Stats(); entries != 2 || used != 80 {
 		t.Fatalf("after two puts: entries=%d used=%d", entries, used)
 	}
@@ -71,7 +71,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
-	c.Put("c", body(40)) // 120 > 100 → evict b
+	c.Put("c", body(40), "micro", "csv") // 120 > 100 → evict b
 	if _, ok := c.Get("b"); ok {
 		t.Error("b survived eviction despite being LRU")
 	}
@@ -87,13 +87,13 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 
 	// Replacing a key adjusts the budget rather than double-counting.
-	c.Put("a", body(60)) // used 40+60 = 100, fits exactly
+	c.Put("a", body(60), "micro", "csv") // used 40+60 = 100, fits exactly
 	if entries, used, _ := c.Stats(); entries != 2 || used != 100 {
 		t.Errorf("after replace: entries=%d used=%d, want 2/100", entries, used)
 	}
 
 	// A body over the whole budget is refused without disturbing anything.
-	c.Put("huge", body(101))
+	c.Put("huge", body(101), "micro", "csv")
 	if _, ok := c.Get("huge"); ok {
 		t.Error("over-budget body was stored")
 	}

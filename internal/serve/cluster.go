@@ -1,0 +1,180 @@
+package serve
+
+// cluster.go glues the cluster plane (internal/cluster) and the disk
+// tier (store.go) into the job path. The layering, top to bottom:
+//
+//	hot LRU  →  disk store  →  proxy to ring owner  →  peer fill  →  cold
+//
+// Everything here degrades to a no-op on an unclustered, storeless
+// server: lookupLocal is then exactly the old LRU probe, proxyTarget
+// never fires, peerFill returns nil.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+)
+
+// lookupLocal consults this replica's own tiers: the hot LRU first, the
+// disk store second. A disk hit is verified (store.Get re-hashes) and
+// promoted into the LRU. src is the X-Cache label: "hit" or "disk".
+func (s *Server) lookupLocal(j job) (body []byte, src string, ok bool) {
+	if body, ok := s.cache.Get(j.key); ok {
+		s.count("serve/cache.hits", 1)
+		return body, "hit", true
+	}
+	s.count("serve/cache.misses", 1)
+	if s.store == nil {
+		return nil, "", false
+	}
+	if body, _, ok := s.store.Get(j.key); ok {
+		s.count("serve/disk_hits", 1)
+		s.cache.Put(j.key, body, j.scenario, j.format)
+		return body, "disk", true
+	}
+	s.count("serve/disk_misses", 1)
+	return nil, "", false
+}
+
+// fill records a freshly materialized artifact (cold execution or peer
+// fill) in every local tier: the hot LRU always, the disk store when
+// configured.
+func (s *Server) fill(j job, body []byte) {
+	s.cache.Put(j.key, body, j.scenario, j.format)
+	if s.store != nil {
+		if err := s.store.Put(j.key, body, j.scenario, j.format); err != nil {
+			// Disk full / permissions: the job still succeeded, the LRU
+			// still serves it. Count it so an operator notices.
+			s.count("serve/store.put_errors", 1)
+		}
+	}
+}
+
+// proxyTarget decides whether this request should be handed to another
+// replica: only when clustered, only when the ring maps the key to a
+// peer, and never for a request a peer already forwarded to us — the
+// forward header breaks routing loops if two replicas ever disagree
+// about the ring (misconfigured peer lists).
+func (s *Server) proxyTarget(r *http.Request, key string) (owner string, ok bool) {
+	if s.ring == nil {
+		return "", false
+	}
+	owner = s.ring.Owner(key)
+	if owner == s.ring.Self() || r.Header.Get(cluster.ForwardHeader) != "" {
+		return "", false
+	}
+	return owner, true
+}
+
+// proxyJob re-submits the job's canonical config to the owner replica
+// and relays the response verbatim (headers included, so the client sees
+// the owner's X-Cache and X-Served-By). Returns false — nothing written —
+// when the owner is unreachable, answers 502, or is draining (503): the
+// caller then executes locally, which keeps the cluster serving through
+// a member's death or rolling restart at the cost of a temporary second
+// copy of that member's keys.
+func (s *Server) proxyJob(w http.ResponseWriter, r *http.Request, j job, owner string) bool {
+	path := "/v1/run"
+	if j.scenario == composeLabel {
+		path = "/v1/compose"
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		"http://"+owner+path, bytes.NewReader(j.body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardHeader, s.ring.Self())
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		s.count("serve/proxy_errors", 1)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		s.count("serve/proxy_errors", 1)
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	// Any other status — 200 artifact, 400 bad params, 429 owner queue
+	// full, 504 timeout — is the owner's authoritative answer; relay it.
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	s.count("serve/proxied_jobs", 1)
+	access(r).cache = "proxied"
+	return true
+}
+
+// peerFill asks the key's other ring members (owner-successor order) for
+// an already-materialized artifact. Bytes are verified by the filler
+// (re-hashed against the peer's declared SHA-256) before they are
+// trusted, stored, or served — a corrupt peer degrades to a miss, never
+// to poison. Returns nil on a cluster-wide miss; the caller executes.
+func (s *Server) peerFill(ctx context.Context, j job) *jobResult {
+	if s.ring == nil {
+		return nil
+	}
+	for _, m := range s.ring.Successors(j.key) {
+		if m == s.ring.Self() {
+			continue
+		}
+		res, err := s.filler.Fetch(ctx, m, j.key)
+		if err != nil {
+			if !errors.Is(err, cluster.ErrNotFound) {
+				s.count("serve/peer_fill_errors", 1)
+			}
+			continue
+		}
+		s.count("serve/peer_fills", 1)
+		s.fill(j, res.Body)
+		return &jobResult{status: http.StatusOK, body: res.Body, src: "peer"}
+	}
+	s.count("serve/peer_fill_misses", 1)
+	return nil
+}
+
+// handleResult is GET /v1/results/{hash}: the artifact export endpoint
+// peers fill from. It serves only already-materialized bytes — hot LRU
+// first, then the disk tier — and never triggers execution, so a fill
+// probe is cheap and cannot recurse. The response declares the
+// artifact's SHA-256 for the fetching side to verify.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if !validStoreKey(key) {
+		notFound(w, "hash", "not a config hash (64 lowercase hex chars)")
+		return
+	}
+	if body, scenario, format, sha, ok := s.cache.GetEntry(key); ok {
+		s.count("serve/result_exports", 1)
+		s.writeResult(w, r, body, scenario, format, sha)
+		return
+	}
+	if s.store != nil {
+		if body, meta, ok := s.store.Get(key); ok {
+			s.count("serve/disk_hits", 1)
+			s.count("serve/result_exports", 1)
+			s.cache.Put(key, body, meta.Scenario, meta.Format)
+			s.writeResult(w, r, body, meta.Scenario, meta.Format, meta.SHA256)
+			return
+		}
+	}
+	notFound(w, "hash", "no materialized artifact for this hash")
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, body []byte, scenario, format, sha string) {
+	w.Header().Set("Content-Type", contentTypeFor(format))
+	w.Header().Set(cluster.SHAHeader, sha)
+	w.Header().Set(cluster.ScenarioHeader, scenario)
+	w.Header().Set(cluster.FormatHeader, format)
+	w.Header().Set("X-Config-Hash", r.PathValue("hash"))
+	w.Write(body)
+}

@@ -69,12 +69,19 @@ func (c ComposeConfig) Normalize() (ComposeConfig, error) {
 // Hash content-addresses a normalized compose config, exactly as
 // JobConfig.Hash does for fixed scenarios.
 func (c ComposeConfig) Hash() string {
+	sum := sha256.Sum256(c.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Canonical returns the canonical JSON encoding of a normalized compose
+// config — the bytes re-submitted when proxying to the ring owner (see
+// JobConfig.Canonical).
+func (c ComposeConfig) Canonical() []byte {
 	b, err := json.Marshal(c)
 	if err != nil {
 		panic("serve: marshal canonical compose config: " + err.Error())
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return b
 }
 
 // exec returns the job executor for a normalized compose config: run the
@@ -114,7 +121,8 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cfg.Hash()
-	j := job{scenario: composeLabel, format: cfg.Format, key: key, exec: cfg.exec()}
+	j := job{scenario: composeLabel, format: cfg.Format, key: key,
+		body: cfg.Canonical(), exec: cfg.exec()}
 	access(r).scenario = composeLabel
 
 	if isAsync(r) {

@@ -88,11 +88,19 @@ func (c JobConfig) Normalize() (JobConfig, *bench.Scenario, error) {
 // same experiment always collide onto one key, and two different
 // experiments never do.
 func (c JobConfig) Hash() string {
+	sum := sha256.Sum256(c.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Canonical returns the canonical JSON encoding of a normalized config —
+// the exact bytes the hash covers. A clustered replica re-submits these
+// bytes when proxying a non-owned job to the key's ring owner, so the
+// owner parses, normalizes, and hashes to the identical key.
+func (c JobConfig) Canonical() []byte {
 	b, err := json.Marshal(c)
 	if err != nil {
 		// A JobConfig of strings/ints/slices cannot fail to marshal.
 		panic("serve: marshal canonical config: " + err.Error())
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return b
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -62,6 +63,26 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured logfmt line per
 	// request. nil (the default) disables request logging entirely.
 	AccessLog io.Writer
+
+	// StoreDir, when non-empty, enables the persistent disk tier: cache
+	// fills write through to a content-addressed on-disk store, and a
+	// cache miss consults disk (verified by re-hash) before executing.
+	// Results survive restarts. /healthz reports {"state":"starting"}
+	// (503) until the startup scan of an existing store finishes.
+	StoreDir string
+	// Self is this replica's advertised host:port in a cluster, e.g.
+	// "127.0.0.1:8081". Required when Peers is set; it must appear in
+	// Peers. Ignored otherwise.
+	Self string
+	// Peers is the full static cluster membership, Self included. When
+	// set (≥2 members), job keys map onto a consistent-hash ring:
+	// non-owned synchronous submissions are proxied to the owner, and a
+	// local cold miss probes the other members for an already-computed
+	// artifact (byte-verified peer cache-fill) before executing.
+	Peers []string
+	// PeerTimeout bounds one peer fill attempt, dial included (default
+	// 2s). Proxied job submissions use JobTimeout-scaled limits instead.
+	PeerTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -111,7 +132,8 @@ type jobResult struct {
 	status     int
 	body       []byte // artifact (200) or error text
 	errMsg     string
-	retryAfter int // seconds; nonzero adds a Retry-After header
+	retryAfter int    // seconds; nonzero adds a Retry-After header
+	src        string // non-empty overrides the X-Cache source ("peer")
 }
 
 // job is one executable unit behind the cache/singleflight/registry
@@ -124,6 +146,7 @@ type job struct {
 	scenario string
 	format   string
 	key      string
+	body     []byte // canonical config JSON — what a proxy re-submits
 	exec     func(ctx context.Context, eng *sweep.Engine) ([]byte, error)
 }
 
@@ -153,6 +176,13 @@ type Server struct {
 	flight *flightGroup
 	runs   *runRegistry
 
+	// Cluster + persistence plane; all nil/false when unconfigured.
+	store       *Store          // disk tier under the LRU
+	ring        *cluster.Ring   // key → owner map shared by every replica
+	filler      *cluster.Filler // verified peer cache-fill client
+	proxyClient *http.Client    // owner-forwarding client
+	starting    atomic.Bool     // true until the startup store scan ends
+
 	engines chan *sweep.Engine // free list, capacity Workers
 	queue   chan struct{}      // jobs in system, capacity QueueDepth
 
@@ -174,9 +204,22 @@ type Server struct {
 	mux       *http.ServeMux
 }
 
-// New builds a Server. The returned server is ready; it owns Workers
-// pre-built sweep engines and an empty cache.
+// New builds a Server, panicking on invalid cluster/store options. Use
+// NewServer where configuration comes from user input (flags).
 func New(opts Options) *Server {
+	s, err := NewServer(opts)
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+	return s
+}
+
+// NewServer builds a Server. The returned server is ready; it owns
+// Workers pre-built sweep engines and an empty hot cache. With StoreDir
+// set it also owns the disk tier (scanned in the background — /healthz
+// says "starting" until done); with Peers set it participates in the
+// consistent-hash cluster.
+func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -197,6 +240,31 @@ func New(opts Options) *Server {
 		e := sweep.NewSharded(opts.SweepWorkers, opts.Shards, nil)
 		e.SetLaneGroup(opts.LaneGroup)
 		s.engines <- e
+	}
+	if opts.StoreDir != "" {
+		st, err := OpenStore(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Count existing entries off the request path: Get/Put read disk
+		// directly, so only /healthz waits on the scan.
+		s.starting.Store(true)
+		go func() {
+			st.Scan()
+			s.starting.Store(false)
+		}()
+	}
+	if len(opts.Peers) > 0 {
+		ring, err := cluster.NewRing(opts.Self, opts.Peers, cluster.DefaultVnodes)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		s.filler = cluster.NewFiller(opts.PeerTimeout)
+		// A proxied job runs to completion on the owner, so the forwarding
+		// client must outlive the job budget, not the fill budget.
+		s.proxyClient = &http.Client{Timeout: opts.JobTimeout + 10*time.Second}
 	}
 	s.mux = http.NewServeMux()
 	// The job API mounts twice: canonically under /v1, and at the legacy
@@ -219,9 +287,13 @@ func New(opts Options) *Server {
 		s.mux.HandleFunc(rt.method+" "+rt.path, deprecated(rt.h))
 	}
 	s.mux.HandleFunc("POST /v1/compose", s.handleCompose)
+	// Result export: serves already-materialized artifacts (hot LRU or
+	// disk) to cluster peers; never triggers execution. Useful solo too —
+	// it is the lookup-by-hash face of the content-addressed store.
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // deprecated wraps a legacy unversioned route: responses carry a
@@ -294,6 +366,13 @@ func (s *Server) syncCacheGauges() {
 	s.reg.Gauge("serve/cache.bytes").Set(bytes)
 	s.reg.Gauge("serve/cache.evictions").Set(evictions)
 	s.regMu.Unlock()
+	if s.store != nil {
+		se, sq := s.store.Stats()
+		s.regMu.Lock()
+		s.reg.Gauge("serve/store.entries").Set(se)
+		s.reg.Gauge("serve/store.quarantined").Set(sq)
+		s.regMu.Unlock()
+	}
 }
 
 // --- handlers ---
@@ -314,23 +393,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(), exec: legacyExec(sc, cfg)}
+	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(),
+		body: cfg.Canonical(), exec: legacyExec(sc, cfg)}
 	s.count("serve/requests{scenario="+sc.Name+"}", 1)
 	access(r).scenario = sc.Name
 	s.serveJob(w, r, j)
 }
 
 // serveJob is the synchronous artifact path shared by POST /v1/run and
-// POST /v1/compose: cache lookup, singleflight-collapsed execution, then
-// the artifact (or the collapsed error) in the response body.
+// POST /v1/compose. Lookup order: hot LRU, then the disk tier, then —
+// when clustered and this replica does not own the key — a proxy to the
+// ring owner; only after all of those does the job reach singleflight
+// and (behind a last peer cache-fill probe) cold execution.
 func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, j job) {
-	if body, ok := s.cache.Get(j.key); ok {
-		s.count("serve/cache.hits", 1)
-		access(r).cache = "hit"
-		s.writeArtifact(w, j, "hit", body)
+	if body, src, ok := s.lookupLocal(j); ok {
+		access(r).cache = src
+		s.writeArtifact(w, j, src, body)
 		return
 	}
-	s.count("serve/cache.misses", 1)
+
+	// Not here. If another replica owns this key, hand the job over —
+	// the owner is where the artifact accumulates (LRU + disk), so the
+	// cluster keeps one durable home per key instead of N cold copies.
+	// A dead or draining owner falls through to local execution.
+	if owner, ok := s.proxyTarget(r, j.key); ok {
+		if s.proxyJob(w, r, j, owner) {
+			return
+		}
+	}
 
 	res, shared, err := s.flight.do(r.Context(), s.base, j.key, func(ctx context.Context) *jobResult {
 		return s.runJob(ctx, j)
@@ -346,6 +436,9 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, j job) {
 		src = "shared"
 		s.count("serve/flight.shared", 1)
 	}
+	if res.src != "" {
+		src = res.src // satisfied by a peer fill, not an execution
+	}
 	access(r).cache = src
 	if run := s.runs.get(runID(j.key)); run != nil {
 		access(r).queueWait = run.QueueWait()
@@ -359,16 +452,18 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, j job) {
 
 // submitJob is the asynchronous path shared by POST /v1/runs and POST
 // /v1/compose?async=1: an immediate run record (200 when the artifact is
-// already cached, 202 otherwise), followed via GET /v1/runs/{id} or SSE.
+// already cached — hot or disk tier, 202 otherwise), followed via GET
+// /v1/runs/{id} or SSE. Async submissions never proxy: the run record
+// (its ID, its SSE stream) lives where the client submitted, so handing
+// the job to another replica would orphan the follow-up URLs. Execution
+// still probes peers before going cold.
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, j job) {
-	if body, ok := s.cache.Get(j.key); ok {
-		s.count("serve/cache.hits", 1)
-		access(r).cache = "hit"
+	if body, src, ok := s.lookupLocal(j); ok {
+		access(r).cache = src
 		run := s.runs.cached(j.key, j.scenario, j.format, body)
 		writeJSON(w, http.StatusOK, run.Info())
 		return
 	}
-	s.count("serve/cache.misses", 1)
 	access(r).cache = "miss"
 
 	// Create the record before launching so a GET /runs/{id} issued right
@@ -381,16 +476,26 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, j job) {
 }
 
 func (s *Server) writeArtifact(w http.ResponseWriter, j job, src string, body []byte) {
-	ctype := map[string]string{
-		"csv":  "text/csv; charset=utf-8",
-		"text": "text/plain; charset=utf-8",
-		"json": "application/json",
-	}[j.format]
-	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("Content-Type", contentTypeFor(j.format))
 	w.Header().Set("X-Config-Hash", j.key)
 	w.Header().Set("X-Cache", src)
 	w.Header().Set("X-Scenario", j.scenario)
+	if s.ring != nil {
+		// Routing visibility: which replica the ring maps this key to and
+		// which one actually produced this response. simload's failover
+		// mode uses X-Owner to pick its kill target.
+		w.Header().Set("X-Owner", s.ring.Owner(j.key))
+		w.Header().Set("X-Served-By", s.ring.Self())
+	}
 	w.Write(body)
+}
+
+func contentTypeFor(format string) string {
+	return map[string]string{
+		"csv":  "text/csv; charset=utf-8",
+		"text": "text/plain; charset=utf-8",
+		"json": "application/json",
+	}[format]
 }
 
 // handleScenarios is GET /v1/scenarios: the self-describing catalog.
@@ -428,12 +533,23 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// handleHealthz answers readiness probes. Both not-ready conditions are
+// 503, but the JSON state field tells an operator (or a rolling deploy)
+// which one they are looking at: "starting" means the disk-store scan is
+// still running and the replica will come up on its own; "draining"
+// means it is going away and traffic must move off.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"state": "draining"})
+	case s.starting.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"state": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{
+			"state": "ok",
+			"up":    time.Since(s.started).Round(time.Second).String(),
+		})
 	}
-	fmt.Fprintf(w, "ok up=%s\n", time.Since(s.started).Round(time.Second))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -480,6 +596,14 @@ func (s *Server) runJob(ctx context.Context, j job) (res *jobResult) {
 		st := run.finish(res)
 		s.count("serve/runs.finished{state="+string(st)+"}", 1)
 	}()
+
+	// Last exit before paying for execution: another replica may already
+	// hold this artifact (it is a pure function of the key, so anyone's
+	// copy is authoritative). Runs inside the singleflight leader, so
+	// concurrent misses probe the cluster once, not once per waiter.
+	if res := s.peerFill(ctx, j); res != nil {
+		return res
+	}
 
 	// Admission: a full queue rejects immediately — shedding load beats
 	// stacking unbounded latency.
@@ -537,7 +661,7 @@ func (s *Server) runJob(ctx context.Context, j job) (res *jobResult) {
 		return &jobResult{status: http.StatusBadRequest, errMsg: err.Error()}
 	}
 	s.observeLatency(j.scenario, time.Since(t0))
-	s.cache.Put(j.key, body)
+	s.fill(j, body)
 	return &jobResult{status: http.StatusOK, body: body}
 }
 

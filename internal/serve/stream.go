@@ -47,7 +47,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(), exec: legacyExec(sc, cfg)}
+	j := job{scenario: sc.Name, format: cfg.Format, key: cfg.Hash(),
+		body: cfg.Canonical(), exec: legacyExec(sc, cfg)}
 	s.count("serve/submits{scenario="+sc.Name+"}", 1)
 	access(r).scenario = sc.Name
 	s.submitJob(w, r, j)

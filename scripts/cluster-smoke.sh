@@ -1,0 +1,132 @@
+#!/bin/sh
+# cluster-smoke: end-to-end gate for the sharded simd cluster
+# (internal/cluster + the persistent store in internal/serve).
+#
+# Three acts:
+#
+#   1. Solo reference — one storeless simd runs every key cold;
+#      simload writes a "config-hash artifact-sha256" digest manifest.
+#      These are the bytes every later phase must reproduce.
+#   2. Failover drill — simnet launches 3 replicas (consistent-hash
+#      routing, per-replica disk stores). simload drives them with
+#      skewed load, SIGKILLs the replica that owns the hot key mid-run
+#      (learned from X-Owner), and requires zero failed requests after
+#      retries plus byte-identity of every response to the solo run.
+#      A verify sweep then posts every key to every survivor, forcing
+#      the dead member's keys through proxy fall-through -> peer fill
+#      -> cold execution. Gate: serve_peer_fills > 0 and
+#      serve_proxied_jobs > 0 summed over survivors, and the cluster
+#      digest equals the solo digest.
+#   3. Restart — one survivor's store directory is mounted by a fresh
+#      simd process. Replaying the manifest against /v1/results/{hash}
+#      must serve every key that store holds byte-identical WITHOUT
+#      executing anything, and serve_disk_hits must be > 0.
+set -eu
+
+HOST=127.0.0.1
+SOLO_PORT=19770
+BASE_PORT=19771
+RESTART_PORT=19779
+ADDRS=$HOST:$BASE_PORT,$HOST:$((BASE_PORT+1)),$HOST:$((BASE_PORT+2))
+
+BIN=$(mktemp -d)
+trap 'kill "${SOLO_PID:-}" "${SIMNET_PID:-}" "${RESTART_PID:-}" 2>/dev/null; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/simd" ./cmd/simd
+go build -o "$BIN/simnet" ./cmd/simnet
+go build -o "$BIN/simload" ./cmd/simload
+
+# --- Act 1: solo cold reference ---------------------------------------
+"$BIN/simd" -addr "$HOST:$SOLO_PORT" &
+SOLO_PID=$!
+"$BIN/simload" -addr "$HOST:$SOLO_PORT" -c 2 -n 0 -keys 8 -compose=false \
+    -digest "$BIN/solo.digest"
+kill -TERM "$SOLO_PID" && wait "$SOLO_PID" || true
+SOLO_PID=
+[ -s "$BIN/solo.digest" ] || { echo "cluster-smoke: empty solo digest" >&2; exit 1; }
+
+# --- Act 2: 3-replica cluster with a mid-run kill ---------------------
+"$BIN/simnet" -n 3 -host "$HOST" -base-port "$BASE_PORT" \
+    -store-root "$BIN/stores" -simd "$BIN/simd" > "$BIN/simnet.out" 2>&1 &
+SIMNET_PID=$!
+i=0
+until grep -q "cluster ready" "$BIN/simnet.out" 2>/dev/null; do
+    i=$((i+1))
+    [ "$i" -gt 300 ] && { echo "cluster-smoke: cluster never ready" >&2; cat "$BIN/simnet.out" >&2; exit 1; }
+    sleep 0.2
+done
+
+KILLMAP=$(awk '/replica [0-9]/ {gsub("addr=","",$4); gsub("pid=","",$5); printf "%s%s=%s", sep, $4, $5; sep=","}' "$BIN/simnet.out")
+[ -n "$KILLMAP" ] || { echo "cluster-smoke: no replica lines from simnet" >&2; exit 1; }
+
+# Zero tolerated errors: simload exits nonzero on any request that fails
+# after retries or any byte deviating from its cold copy. -digest here
+# re-derives the same configs, so the manifests must be identical.
+"$BIN/simload" -addrs "$ADDRS" -c 4 -n 160 -keys 8 -hot 0.7 -compose=false \
+    -digest "$BIN/cluster.digest" -kill "$KILLMAP" -kill-after 40
+
+cmp "$BIN/solo.digest" "$BIN/cluster.digest" || {
+    echo "cluster-smoke: cluster artifacts differ from the solo cold run" >&2; exit 1; }
+echo "cluster-smoke: cluster == solo byte-identical ($(wc -l < "$BIN/solo.digest") keys)"
+
+# Sum the cluster counters over the survivors.
+metric_sum() {
+    total=0
+    for port in $BASE_PORT $((BASE_PORT+1)) $((BASE_PORT+2)); do
+        v=$(curl -sf "http://$HOST:$port/metrics" 2>/dev/null | awk -v m="$1" '$1 == m {print $2}')
+        total=$((total + ${v:-0}))
+    done
+    echo "$total"
+}
+FILLS=$(metric_sum serve_peer_fills)
+PROXIED=$(metric_sum serve_proxied_jobs)
+echo "cluster-smoke: serve_peer_fills=$FILLS serve_proxied_jobs=$PROXIED (survivor sum)"
+[ "$FILLS" -gt 0 ] || { echo "cluster-smoke: expected serve_peer_fills > 0" >&2; exit 1; }
+[ "$PROXIED" -gt 0 ] || { echo "cluster-smoke: expected serve_proxied_jobs > 0" >&2; exit 1; }
+
+# Drain the cluster. simnet exits nonzero because the drill killed one
+# replica — that death is the point of the exercise, not a failure.
+kill -TERM "$SIMNET_PID"
+wait "$SIMNET_PID" || true
+SIMNET_PID=
+
+# --- Act 3: restart over a survivor's store ---------------------------
+# Pick the store directory holding the most entries (a survivor's; the
+# victim's store is valid too but holds only pre-kill keys).
+STORE=$(for d in "$BIN"/stores/r*; do
+    printf '%s %s\n' "$(find "$d" -name '*.meta.json' | wc -l)" "$d"
+done | sort -rn | head -1 | cut -d' ' -f2)
+echo "cluster-smoke: restarting over $STORE"
+
+"$BIN/simd" -addr "$HOST:$RESTART_PORT" -store-dir "$STORE" &
+RESTART_PID=$!
+i=0
+until curl -sf "http://$HOST:$RESTART_PORT/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    [ "$i" -gt 100 ] && { echo "cluster-smoke: restarted simd never healthy" >&2; exit 1; }
+    sleep 0.2
+done
+
+# Replay the manifest against the export endpoint: every key this store
+# holds must come back byte-identical (a 404 just means another replica
+# owned that key); any served-but-different byte is corruption.
+served=0
+while read -r hash sha; do
+    body="$BIN/replay.$hash"
+    code=$(curl -s -o "$body" -w '%{http_code}' "http://$HOST:$RESTART_PORT/v1/results/$hash")
+    [ "$code" = 404 ] && continue
+    [ "$code" = 200 ] || { echo "cluster-smoke: replay $hash: HTTP $code" >&2; exit 1; }
+    got=$(sha256sum "$body" | cut -d' ' -f1)
+    [ "$got" = "$sha" ] || { echo "cluster-smoke: replay $hash: sha $got != $sha" >&2; exit 1; }
+    served=$((served+1))
+done < "$BIN/solo.digest"
+[ "$served" -gt 0 ] || { echo "cluster-smoke: restarted store served no keys" >&2; exit 1; }
+
+DISK_HITS=$(curl -sf "http://$HOST:$RESTART_PORT/metrics" | awk '$1 == "serve_disk_hits" {print $2}')
+echo "cluster-smoke: restart served $served keys from disk, serve_disk_hits=${DISK_HITS:-0}"
+[ "${DISK_HITS:-0}" -gt 0 ] || { echo "cluster-smoke: expected serve_disk_hits > 0" >&2; exit 1; }
+
+kill -TERM "$RESTART_PID" && wait "$RESTART_PID" || true
+RESTART_PID=
+trap 'rm -rf "$BIN"' EXIT
+echo "cluster smoke OK"
